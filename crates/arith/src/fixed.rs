@@ -1,0 +1,160 @@
+//! Unsigned `Q3.w` fixed-point arithmetic (paper §III-2).
+//!
+//! The paper's format `Q3.w` has 3 integer bits and `w` fractional bits.
+//! All quantities in the Newton recurrence for `1/x` with `x > 0` are
+//! non-negative and below 4, so an unsigned interpretation is sufficient
+//! (the paper's two's-complement signing never kicks in for this input
+//! range); raw values are stored in `u128`, which limits the software
+//! model to `w ≤ 60` — far beyond anything simulated exhaustively.
+
+/// An unsigned fixed-point number with 3 integer bits and `frac_bits`
+/// fractional bits.
+///
+/// # Example
+///
+/// ```
+/// use qda_arith::fixed::Fixed;
+///
+/// let a = Fixed::from_ratio(1, 2, 8); // 0.5 in Q3.8
+/// let b = Fixed::from_ratio(3, 2, 8); // 1.5
+/// assert_eq!(a.mul_trunc(b, 8).to_f64(), 0.75);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fixed {
+    raw: u128,
+    frac_bits: u32,
+}
+
+impl Fixed {
+    /// Builds from a raw integer (`value = raw / 2^frac_bits`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac_bits > 60` or the value exceeds the `Q3.w` range.
+    pub fn from_raw(raw: u128, frac_bits: u32) -> Self {
+        assert!(frac_bits <= 60, "fixed-point model limited to 60 bits");
+        assert!(raw >> (frac_bits + 3) == 0, "value exceeds Q3.{frac_bits}");
+        Self { raw, frac_bits }
+    }
+
+    /// Builds the closest representation of `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the quotient exceeds the format.
+    pub fn from_ratio(num: u128, den: u128, frac_bits: u32) -> Self {
+        assert!(den != 0, "zero denominator");
+        Self::from_raw((num << frac_bits) / den, frac_bits)
+    }
+
+    /// Raw integer value.
+    pub fn raw(&self) -> u128 {
+        self.raw
+    }
+
+    /// Fractional bit count `w`.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Conversion to `f64` (for accuracy tests only).
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 / (1u128 << self.frac_bits) as f64
+    }
+
+    /// Addition (same format). Wraps modulo `2^(w+3)` like the hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics on format mismatch.
+    pub fn wrapping_add(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "format mismatch");
+        let mask = (1u128 << (self.frac_bits + 3)) - 1;
+        Fixed {
+            raw: (self.raw + rhs.raw) & mask,
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// Subtraction (same format), wrapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics on format mismatch.
+    pub fn wrapping_sub(self, rhs: Fixed) -> Fixed {
+        assert_eq!(self.frac_bits, rhs.frac_bits, "format mismatch");
+        let modulus = 1u128 << (self.frac_bits + 3);
+        Fixed {
+            raw: (self.raw + modulus - rhs.raw) % modulus,
+            frac_bits: self.frac_bits,
+        }
+    }
+
+    /// The paper's `u ∗w v`: multiply, truncate the 3 most significant
+    /// integer bits and the surplus fractional bits, yielding a `Q3.w`
+    /// result.
+    pub fn mul_trunc(self, rhs: Fixed, w: u32) -> Fixed {
+        let full_frac = self.frac_bits + rhs.frac_bits;
+        assert!(w <= full_frac, "cannot gain precision by truncation");
+        let shifted = (self.raw * rhs.raw) >> (full_frac - w);
+        let mask = (1u128 << (w + 3)) - 1;
+        Fixed {
+            raw: shifted & mask,
+            frac_bits: w,
+        }
+    }
+
+    /// Widens (or narrows) to `w` fractional bits, truncating low bits when
+    /// narrowing.
+    pub fn with_frac_bits(self, w: u32) -> Fixed {
+        let raw = if w >= self.frac_bits {
+            self.raw << (w - self.frac_bits)
+        } else {
+            self.raw >> (self.frac_bits - w)
+        };
+        Fixed::from_raw(raw & ((1u128 << (w + 3)) - 1), w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_f64_round_trip() {
+        let x = Fixed::from_ratio(48, 17, 20);
+        assert!((x.to_f64() - 48.0 / 17.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn add_sub_wrap() {
+        let a = Fixed::from_ratio(7, 2, 8); // 3.5
+        let b = Fixed::from_ratio(1, 1, 8); // 1.0
+        assert_eq!(a.wrapping_add(b).to_f64(), 4.5);
+        let c = b.wrapping_sub(a); // 1.0 - 3.5 mod 8 = 5.5
+        assert_eq!(c.to_f64(), 5.5);
+    }
+
+    #[test]
+    fn mul_trunc_matches_real_product() {
+        let a = Fixed::from_ratio(3, 2, 10);
+        let b = Fixed::from_ratio(5, 4, 10);
+        let p = a.mul_trunc(b, 10);
+        assert!((p.to_f64() - 1.875).abs() < 1e-2);
+    }
+
+    #[test]
+    fn widening_preserves_value() {
+        let a = Fixed::from_ratio(11, 8, 6);
+        let w = a.with_frac_bits(12);
+        assert_eq!(w.to_f64(), a.to_f64());
+        let n = w.with_frac_bits(6);
+        assert_eq!(n, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_overflow() {
+        let _ = Fixed::from_ratio(9, 1, 8); // 9.0 does not fit Q3.8
+    }
+}

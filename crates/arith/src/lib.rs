@@ -1,0 +1,24 @@
+//! Reciprocal designs and manual baselines (paper §III and Table I).
+//!
+//! * [`recip`] — golden software models of the two reciprocal designs:
+//!   INTDIV (integer division) and NEWTON (fixed-point Newton–Raphson);
+//! * [`gen`] — Verilog *source generators* for `INTDIV(n)` and
+//!   `NEWTON(n)`, so the design flows genuinely start at the design level;
+//! * [`fixed`] — the `Q3.w` unsigned fixed-point helpers backing the
+//!   Newton model;
+//! * [`resdiv`] — the RESDIV baseline: a reversible restoring-division
+//!   circuit built from Cuccaro adders (`~3N` qubits for an `N`-bit
+//!   divider; the reciprocal uses the `N = 2n` instance);
+//! * [`qnewton`] — the QNEWTON baseline: a hand-built reversible
+//!   Newton–Raphson reciprocal.
+
+pub mod fixed;
+pub mod gen;
+pub mod qnewton;
+pub mod recip;
+pub mod resdiv;
+
+pub use gen::{intdiv_verilog, newton_verilog};
+pub use qnewton::qnewton_circuit;
+pub use recip::{newton_iterations, recip_intdiv, recip_newton};
+pub use resdiv::resdiv_circuit;

@@ -1,0 +1,402 @@
+//! QNEWTON: the hand-crafted reversible Newton–Raphson reciprocal
+//! baseline (paper §V, Table I).
+//!
+//! Mirrors the paper's description: "bitshifting the inputs into the range
+//! [0.5, 1), implementing Newton iterations with the Cuccaro adder,
+//! text book multiplication, and then finally bit shifting the values
+//! again to provide the desired answer."
+//!
+//! Construction outline:
+//!
+//! 1. **Normalize** — a one-hot leading-one detector (one MCT per bit)
+//!    drives shift (`s = n−1−k`) and exponent (`e = k+1`) registers; a
+//!    controlled barrel rotator (Fredkin gates) builds `x' ∈ [1/2, 1)` in
+//!    `Q3.2n`;
+//! 2. **Iterate** — `x₀ = 48/17 − 32/17·x'`, then
+//!    `xᵢ₊₁ = xᵢ + xᵢ·(1 − x'·xᵢ)` with shift-and-add multipliers and
+//!    Cuccaro adders; multiplier products are uncomputed after use;
+//! 3. **Denormalize** — a second controlled barrel rotator shifts by `e`
+//!    and the answer bits are copied out.
+//!
+//! Intermediate `xᵢ` registers are kept as garbage (the chain would need
+//! its full history to uncompute); inputs are preserved. The qubit count
+//! is the allocator's high-water mark.
+
+use crate::recip::newton_iterations;
+use qda_rev::blocks::{copy_register, cuccaro_add, cuccaro_sub, load_constant_bits, multiply_add};
+use qda_rev::circuit::{Circuit, LineAllocator};
+use qda_rev::gate::{Control, Gate};
+
+/// A built QNEWTON instance.
+#[derive(Clone, Debug)]
+pub struct QNewtonCircuit {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Input lines carrying `x` (LSB first), preserved.
+    pub input_lines: Vec<usize>,
+    /// Output lines carrying `y ≈ 2ⁿ/x` fraction bits (LSB first).
+    pub output_lines: Vec<usize>,
+}
+
+/// `⌊num·2^frac/den⌋` as LSB-first bits, via streaming long division —
+/// constants stay exact at any width (QNEWTON(64) needs 131-bit values).
+fn ratio_bits(num: u64, den: u64, frac: usize) -> Vec<bool> {
+    let num_bits = 64 - num.leading_zeros() as usize;
+    let mut msb_first = Vec::with_capacity(num_bits + frac);
+    let mut rem: u64 = 0;
+    for i in 0..(num_bits + frac) {
+        let bit = if i < num_bits {
+            (num >> (num_bits - 1 - i)) & 1
+        } else {
+            0
+        };
+        rem = rem * 2 + bit;
+        if rem >= den {
+            rem -= den;
+            msb_first.push(true);
+        } else {
+            msb_first.push(false);
+        }
+    }
+    msb_first.reverse(); // now LSB first
+    msb_first
+}
+
+/// Subtracts `2^exp` from an LSB-first bit vector in place (borrow ripple).
+///
+/// # Panics
+///
+/// Panics if the value is smaller than `2^exp`.
+fn sub_power_of_two(bits: &mut Vec<bool>, exp: usize) {
+    let mut i = exp;
+    loop {
+        assert!(i < bits.len() || bits.len() > i, "underflow in constant bias");
+        if i >= bits.len() {
+            panic!("underflow in constant bias");
+        }
+        if bits[i] {
+            bits[i] = false;
+            break;
+        }
+        bits[i] = true;
+        i += 1;
+    }
+}
+
+/// Controlled swap (Fredkin): swaps `a` and `b` iff `c` is 1.
+fn fredkin(circuit: &mut Circuit, c: usize, a: usize, b: usize) {
+    circuit.cnot(b, a);
+    circuit.toffoli(c, a, b);
+    circuit.cnot(b, a);
+}
+
+/// Rotates `reg` left by `k` positions when `control` is 1.
+fn controlled_rotate_left(circuit: &mut Circuit, reg: &[usize], k: usize, control: usize) {
+    let m = reg.len();
+    let k = k % m;
+    if k == 0 {
+        return;
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.rotate_left(m - k);
+    let mut visited = vec![false; m];
+    for start in 0..m {
+        if visited[start] {
+            continue;
+        }
+        let mut cycle = vec![start];
+        let mut cur = order[start];
+        while cur != start {
+            cycle.push(cur);
+            cur = order[cur];
+        }
+        for &c in &cycle {
+            visited[c] = true;
+        }
+        for w in cycle.windows(2) {
+            fredkin(circuit, control, reg[w[0]], reg[w[1]]);
+        }
+    }
+}
+
+/// Builds the QNEWTON reciprocal circuit for `n`-bit inputs.
+///
+/// # Panics
+///
+/// Panics if `n < 4`.
+///
+/// # Example
+///
+/// ```
+/// use qda_arith::qnewton_circuit;
+/// use qda_rev::state::BitState;
+///
+/// let q = qnewton_circuit(4);
+/// let mut s = BitState::zeros(q.circuit.num_lines());
+/// s.write_register(&q.input_lines, 2);
+/// q.circuit.apply(&mut s);
+/// // 1/2 = 0.1000₂; converging from below may floor one ulp short.
+/// let y = s.read_register(&q.output_lines);
+/// assert!(y == 0b1000 || y == 0b0111);
+/// ```
+pub fn qnewton_circuit(n: usize) -> QNewtonCircuit {
+    assert!(n >= 4, "n must be at least 4");
+    let w = 2 * n + 3; // Q3.2n raw width
+    let eb = usize::BITS as usize - n.leading_zeros() as usize;
+    let iters = newton_iterations(n);
+    let mut circuit = Circuit::new(n);
+    let mut alloc = LineAllocator::new(n);
+    let x_lines: Vec<usize> = (0..n).collect();
+    let grow = |circuit: &mut Circuit, alloc: &LineAllocator| {
+        circuit.ensure_lines(alloc.high_water());
+    };
+
+    // 1. Leading-one detection: one-hot h_k = x[k] & !x[k+1..].
+    let h_lines = alloc.alloc_many(n);
+    grow(&mut circuit, &alloc);
+    for k in 0..n {
+        let mut controls = vec![Control::positive(x_lines[k])];
+        for j in (k + 1)..n {
+            controls.push(Control::negative(x_lines[j]));
+        }
+        circuit.add_gate(Gate::mct(controls, h_lines[k]));
+    }
+    // Shift register s = n−1−k and exponent register e = k+1.
+    let s_lines = alloc.alloc_many(eb);
+    let e_lines = alloc.alloc_many(eb);
+    grow(&mut circuit, &alloc);
+    for k in 0..n {
+        let s_val = n - 1 - k;
+        let e_val = k + 1;
+        for j in 0..eb {
+            if (s_val >> j) & 1 == 1 {
+                circuit.cnot(h_lines[k], s_lines[j]);
+            }
+            if (e_val >> j) & 1 == 1 {
+                circuit.cnot(h_lines[k], e_lines[j]);
+            }
+        }
+    }
+    // Uncompute the one-hot detector; recycle its lines.
+    for k in (0..n).rev() {
+        let mut controls = vec![Control::positive(x_lines[k])];
+        for j in (k + 1)..n {
+            controls.push(Control::negative(x_lines[j]));
+        }
+        circuit.add_gate(Gate::mct(controls, h_lines[k]));
+    }
+    alloc.release_many(h_lines);
+
+    // 2. Normalization rotator: copy x at offset n in a 3n-line register,
+    //    rotate left by s ⇒ x' in Q3.2n on the low w lines (top 3 of the
+    //    w always zero because x' < 1, so borrow 3 clean lines).
+    let wide_len = 3 * n;
+    let wide = alloc.alloc_many(wide_len);
+    let zeros3 = alloc.alloc_many(3);
+    grow(&mut circuit, &alloc);
+    for (i, &x) in x_lines.iter().enumerate() {
+        circuit.cnot(x, wide[n + i]);
+    }
+    for (j, &s) in s_lines.iter().enumerate() {
+        controlled_rotate_left(&mut circuit, &wide, 1 << j, s);
+    }
+    // x' register (Q3.2n): 2n value lines + 3 zero top lines.
+    let xp: Vec<usize> = wide[..2 * n].iter().chain(&zeros3).copied().collect();
+
+    // Shared adder ancilla.
+    let adder_anc = alloc.alloc();
+
+    // 3. x0 = C1 − C2·x'.
+    //    C2·x' computed as (C2 in Q3.n) × (x' in Q3.2n) → 3n frac bits;
+    //    slicing off the low n bits yields the Q3.2n truncation.
+    let c2_bits = ratio_bits(32, 17, n);
+    // 48/17 − 1/8: the bias keeps x0 below 1/x' (unsigned-safe recurrence).
+    let c1_bits = {
+        let mut bits = ratio_bits(48, 17, 2 * n);
+        sub_power_of_two(&mut bits, 2 * n - 3);
+        bits
+    };
+    let c2_reg = alloc.alloc_many(n + 3);
+    let prod0 = alloc.alloc_many(w + n + 3);
+    let x0_reg = alloc.alloc_many(w);
+    grow(&mut circuit, &alloc);
+    load_constant_bits(&mut circuit, &c2_reg, &c2_bits);
+    multiply_add(&mut circuit, &c2_reg, &xp, &prod0, adder_anc);
+    load_constant_bits(&mut circuit, &x0_reg, &c1_bits);
+    let m0_slice: Vec<usize> = prod0[n..n + w].to_vec();
+    cuccaro_sub(&mut circuit, &m0_slice, &x0_reg, adder_anc, None, None);
+    // Uncompute the product and constant.
+    {
+        let mut inv = Circuit::new(circuit.num_lines());
+        multiply_add(&mut inv, &c2_reg, &xp, &prod0, adder_anc);
+        let inv = inv.inverse();
+        circuit.extend_from(&inv);
+    }
+    load_constant_bits(&mut circuit, &c2_reg, &c2_bits);
+    alloc.release_many(prod0);
+    alloc.release_many(c2_reg);
+
+    // 4. Newton iterations.
+    let one_bits: Vec<bool> = (0..w).map(|i| i == 2 * n).collect();
+    let mut xi_reg = x0_reg;
+    for _ in 0..iters {
+        let t_full = alloc.alloc_many(2 * w);
+        let d_reg = alloc.alloc_many(w);
+        let u_full = alloc.alloc_many(2 * w);
+        let x_next = alloc.alloc_many(w);
+        grow(&mut circuit, &alloc);
+        // t = x'·xᵢ (Q3.2n truncation = bits 2n… of the full product).
+        multiply_add(&mut circuit, &xp, &xi_reg, &t_full, adder_anc);
+        let t_slice: Vec<usize> = t_full[2 * n..2 * n + w].to_vec();
+        // d = 1 − t.
+        load_constant_bits(&mut circuit, &d_reg, &one_bits);
+        cuccaro_sub(&mut circuit, &t_slice, &d_reg, adder_anc, None, None);
+        // u = xᵢ·d.
+        multiply_add(&mut circuit, &xi_reg, &d_reg, &u_full, adder_anc);
+        let u_slice: Vec<usize> = u_full[2 * n..2 * n + w].to_vec();
+        // x_{i+1} = xᵢ + u.
+        copy_register(&mut circuit, &xi_reg, &x_next);
+        cuccaro_add(&mut circuit, &u_slice, &x_next, adder_anc, None, None);
+        // Uncompute u, d, t (in reverse order of their data dependencies).
+        {
+            let mut inv = Circuit::new(circuit.num_lines());
+            multiply_add(&mut inv, &xi_reg, &d_reg, &u_full, adder_anc);
+            circuit.extend_from(&inv.inverse());
+        }
+        {
+            let mut inv = Circuit::new(circuit.num_lines());
+            load_constant_bits(&mut inv, &d_reg, &one_bits);
+            cuccaro_sub(&mut inv, &t_slice, &d_reg, adder_anc, None, None);
+            circuit.extend_from(&inv.inverse());
+        }
+        {
+            let mut inv = Circuit::new(circuit.num_lines());
+            multiply_add(&mut inv, &xp, &xi_reg, &t_full, adder_anc);
+            circuit.extend_from(&inv.inverse());
+        }
+        alloc.release_many(t_full);
+        alloc.release_many(d_reg);
+        alloc.release_many(u_full);
+        // xᵢ stays live as garbage history (required to uncompute nothing
+        // further; documented trade-off).
+        xi_reg = x_next;
+    }
+
+    // 5. Denormalize: copy x_I at offset n of a fresh rotator and rotate
+    //    right by e. Position p then holds x_I bit (p + e − n), so the
+    //    wanted bits y_j = x_I bit (n + j + e) sit at the *fixed* positions
+    //    2n + j regardless of e.
+    let denorm = alloc.alloc_many(w + n);
+    grow(&mut circuit, &alloc);
+    for (i, &l) in xi_reg.iter().enumerate() {
+        circuit.cnot(l, denorm[n + i]);
+    }
+    for (j, &e) in e_lines.iter().enumerate() {
+        // Rotate right by 2^j == rotate left by len − 2^j.
+        let len = denorm.len();
+        controlled_rotate_left(&mut circuit, &denorm, len - (1 << j) % len, e);
+    }
+    let y_lines = alloc.alloc_many(n);
+    grow(&mut circuit, &alloc);
+    for j in 0..n {
+        circuit.cnot(denorm[2 * n + j], y_lines[j]);
+    }
+    // Uncompute the denormalization rotator.
+    for (j, &e) in e_lines.iter().enumerate().rev() {
+        let len = denorm.len();
+        controlled_rotate_left(&mut circuit, &denorm, (1 << j) % len, e);
+    }
+    for (i, &l) in xi_reg.iter().enumerate().rev() {
+        circuit.cnot(l, denorm[n + i]);
+    }
+    alloc.release_many(denorm);
+
+    circuit.ensure_lines(alloc.high_water());
+    QNewtonCircuit {
+        circuit,
+        input_lines: x_lines,
+        output_lines: y_lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recip::recip_newton;
+    use qda_rev::state::BitState;
+
+    fn run(q: &QNewtonCircuit, x: u64) -> u64 {
+        let mut s = BitState::zeros(q.circuit.num_lines());
+        s.write_register(&q.input_lines, x);
+        q.circuit.apply(&mut s);
+        let y = s.read_register(&q.output_lines);
+        assert_eq!(s.read_register(&q.input_lines), x, "input preserved");
+        y
+    }
+
+    #[test]
+    fn matches_newton_model_exhaustively() {
+        for n in [4usize, 5] {
+            let q = qnewton_circuit(n);
+            for x in 1..(1u64 << n) {
+                assert_eq!(run(&q, x), recip_newton(n, x), "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn powers_of_two_within_one_ulp() {
+        // Converging from below, x_I sits just under 1/x', so exact powers
+        // of two may floor to one ulp below the exact reciprocal.
+        let n = 6;
+        let q = qnewton_circuit(n);
+        for k in 1..n {
+            let x = 1u64 << k;
+            let y = run(&q, x) as i64;
+            let exact = 1i64 << (n - k);
+            assert!((exact - y) <= 1 && exact >= y, "x=2^{k}: y={y} exact={exact}");
+        }
+    }
+
+    #[test]
+    fn accuracy_close_to_true_reciprocal() {
+        let n = 6;
+        let q = qnewton_circuit(n);
+        for x in 2..(1u64 << n) {
+            let y = run(&q, x);
+            let approx = y as f64 / 64.0;
+            let truth = 1.0 / x as f64;
+            assert!(
+                (approx - truth).abs() <= 4.0 / 64.0,
+                "x={x} y={y} approx={approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn fredkin_swaps_conditionally() {
+        let mut c = Circuit::new(3);
+        fredkin(&mut c, 0, 1, 2);
+        assert_eq!(c.simulate_u64(0b011), 0b101); // c=1: swap
+        assert_eq!(c.simulate_u64(0b010), 0b010); // c=0: identity
+    }
+
+    #[test]
+    fn controlled_rotation() {
+        let mut c = Circuit::new(5);
+        controlled_rotate_left(&mut c, &[0, 1, 2, 3], 1, 4);
+        // control off: unchanged.
+        assert_eq!(c.simulate_u64(0b0_0011), 0b0_0011);
+        // control on: 0b0011 rotated left 1 = 0b0110.
+        assert_eq!(c.simulate_u64(0b1_0011), 0b1_0110);
+    }
+
+    #[test]
+    fn qubit_count_scales_linearly() {
+        let q4 = qnewton_circuit(4).circuit.num_lines();
+        let q8 = qnewton_circuit(8).circuit.num_lines();
+        let q16 = qnewton_circuit(16).circuit.num_lines();
+        assert!(q8 < 2 * q4 + 40);
+        assert!(q16 < 2 * q8 + 60);
+    }
+}

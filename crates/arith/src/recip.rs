@@ -1,0 +1,173 @@
+//! Golden software models of the reciprocal designs (paper §III).
+//!
+//! Both compute the `n`-bit fraction `y = (0.y₁…yₙ)₂ ≈ 1/x` for an `n`-bit
+//! unsigned input `x ≥ 1`:
+//!
+//! * [`recip_intdiv`] — the INTDIV design: `y` = low `n` bits of the
+//!   `(n+1)`-bit integer division `2ⁿ / x`;
+//! * [`recip_newton`] — the NEWTON design: normalize to `[1/2, 1)`,
+//!   Newton–Raphson in `Q3.2n` fixed point, denormalize.
+//!
+//! Every synthesized circuit in the workspace is equivalence-checked
+//! against these models.
+
+use crate::fixed::Fixed;
+
+/// Number of Newton iterations for target precision `n` bits.
+///
+/// The paper uses `I = ⌈log₂((P+1)/log₂ 17)⌉` with signed fixed point and
+/// the minimax initial value (*relative* error ≤ 1/17, i.e. absolute
+/// overshoot up to 2/17). Our implementation stays *unsigned* by biasing
+/// the initial value down by 1/8 > 2/17 (see [`recip_newton`]), so the
+/// recurrence converges from below; the wider initial error (< 1/4)
+/// costs one extra iteration relative to the paper's count.
+pub fn newton_iterations(n: usize) -> usize {
+    let p = n as f64;
+    ((p + 1.0) / 2.0).log2().ceil().max(1.0) as usize
+}
+
+/// The INTDIV(n) golden model: `y` = low `n` bits of `⌊2ⁿ/x⌋`.
+///
+/// For `x = 0` the hardware divider saturates the quotient to all ones
+/// (documented in [`qda_verilog::words::divmod`]); the model matches.
+///
+/// # Panics
+///
+/// Panics if `n > 60` or `x ≥ 2ⁿ`.
+///
+/// # Example
+///
+/// ```
+/// // Example 1 of the paper: n = 8, x = 22 → y = 0b00001011.
+/// assert_eq!(qda_arith::recip_intdiv(8, 22), 0b0000_1011);
+/// ```
+pub fn recip_intdiv(n: usize, x: u64) -> u64 {
+    assert!(n <= 60, "model limited to 60 bits");
+    assert!(x < (1u64 << n), "input exceeds {n} bits");
+    let mask = (1u64 << n) - 1;
+    if x == 0 {
+        return mask;
+    }
+    ((1u64 << n) / x) & mask
+}
+
+/// The NEWTON(n) golden model, mirroring the generated Verilog bit-exactly:
+/// normalization by the leading-one position, `I` Newton iterations in
+/// `Q3.2n`, denormalization, and extraction of the `n` most significant
+/// fractional bits.
+///
+/// # Panics
+///
+/// Panics if `n > 28` (raw products need `4n + 6 ≤ 128` bits, and the model
+/// exists to validate exhaustively-simulated small instances) or `x ≥ 2ⁿ`.
+pub fn recip_newton(n: usize, x: u64) -> u64 {
+    assert!(n <= 28, "newton model limited to 28 bits");
+    assert!(x < (1u64 << n), "input exceeds {n} bits");
+    let mask = (1u64 << n) - 1;
+    if x == 0 {
+        return 0;
+    }
+    let n32 = n as u32;
+    let w = 2 * n32; // working precision (fraction bits)
+    // Normalize: k = MSB index, x' = x / 2^(k+1) ∈ [1/2, 1).
+    let k = 63 - x.leading_zeros();
+    let e = k + 1;
+    // x' in Q3.n: raw = x << (n - k - 1).
+    let xp_n = Fixed::from_raw((x as u128) << (n32 - k - 1), n32);
+    let xp = xp_n.with_frac_bits(w);
+    // x0 = 48/17 − (32/17) ∗2n x' − 1/8. The bias keeps x0 strictly below
+    // 1/x' (the minimax line overshoots by up to 2/17 absolute), so every
+    // `1 − x'·xᵢ` stays non-negative and the whole recurrence runs in
+    // unsigned arithmetic.
+    let c1 = Fixed::from_ratio(48, 17, w);
+    let c2 = Fixed::from_ratio(32, 17, n32);
+    let bias = Fixed::from_ratio(1, 8, w);
+    let mut xi = c1.wrapping_sub(c2.mul_trunc(xp_n, w)).wrapping_sub(bias);
+    // Newton iterations: x ← x + x ∗ (1 − x' ∗ x).
+    let one = Fixed::from_ratio(1, 1, w);
+    for _ in 0..newton_iterations(n) {
+        let t = xp.mul_trunc(xi, w);
+        let d = one.wrapping_sub(t);
+        let u = xi.mul_trunc(d, w);
+        xi = xi.wrapping_add(u);
+    }
+    // Denormalize: y' = x_I >> e; y = top n fractional bits.
+    let yp = xi.raw() >> e;
+    ((yp >> n) as u64) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1() {
+        // 1/22 = 0.045…; Verilog integer division gives 0.04296875.
+        let y = recip_intdiv(8, 22);
+        assert_eq!(y, 0b0000_1011);
+        let value = y as f64 / 256.0;
+        assert!((value - 0.04296875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intdiv_edge_cases() {
+        // x = 1: 2^n / 1 = 2^n, MSB dropped → 0.
+        assert_eq!(recip_intdiv(8, 1), 0);
+        // x = 2: 0.5.
+        assert_eq!(recip_intdiv(8, 2), 128);
+        // x = 2^n − 1: smallest nonzero reciprocal → 1.
+        assert_eq!(recip_intdiv(8, 255), 1);
+        // x = 0 saturates.
+        assert_eq!(recip_intdiv(8, 0), 255);
+    }
+
+    #[test]
+    fn iteration_count_grows_with_precision() {
+        assert_eq!(newton_iterations(8), 3);
+        assert!(newton_iterations(16) >= newton_iterations(8));
+        assert!(newton_iterations(64) >= newton_iterations(32));
+    }
+
+    #[test]
+    fn newton_matches_true_reciprocal_closely() {
+        for n in [6usize, 8, 10] {
+            for x in 1..(1u64 << n) {
+                let y = recip_newton(n, x);
+                let approx = y as f64 / (1u64 << n) as f64;
+                let truth = 1.0 / x as f64;
+                // The representable fraction is in [0, 1); for x = 1 the
+                // true value 1.0 is unrepresentable and wraps toward
+                // 1 − 2^−n or 0.
+                if x == 1 {
+                    continue;
+                }
+                let err = (approx - truth).abs();
+                assert!(
+                    err <= 4.0 / (1u64 << n) as f64,
+                    "n={n} x={x} y={y} approx={approx} truth={truth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn newton_and_intdiv_agree_within_rounding() {
+        for n in [6usize, 8] {
+            let mut close = 0usize;
+            let total = (1u64 << n) - 2;
+            for x in 2..(1u64 << n) {
+                let yi = recip_intdiv(n, x) as i64;
+                let yn = recip_newton(n, x) as i64;
+                if (yi - yn).abs() <= 2 {
+                    close += 1;
+                }
+            }
+            // The designs approximate the same function; allow a small
+            // number of larger rounding deviations.
+            assert!(
+                close as f64 >= 0.95 * total as f64,
+                "n={n}: only {close}/{total} within 2 ulp"
+            );
+        }
+    }
+}

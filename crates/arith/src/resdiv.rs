@@ -1,0 +1,218 @@
+//! RESDIV: the hand-crafted restoring-division baseline (paper §V,
+//! Table I), after Thapliyal et al. \[24\].
+//!
+//! An `N`-bit restoring divider computes quotient `q` and remainder `r`
+//! with `a = q·b + r` from registers A (dividend), B (divisor) and an
+//! `N+1`-line remainder window, using Cuccaro adders for the iterated
+//! conditional subtraction — roughly `3N` qubits. The paper computes the
+//! `n`-bit reciprocal with the `N = 2n` instance (`a = 2ⁿ`, `b = x`),
+//! giving the `6n` qubit counts of Table I.
+//!
+//! Reversible structure per iteration (MSB to LSB):
+//!
+//! 1. the remainder window shifts left by relabeling, absorbing the next
+//!    dividend line and releasing its (always zero) top line,
+//! 2. `R ← R − B` with the borrow recorded on the released line,
+//! 3. a borrow-controlled `R ← R + B` restores when the subtraction
+//!    overshot,
+//! 4. the borrow line, inverted, *is* the quotient bit.
+
+use qda_rev::blocks::{cuccaro_add, cuccaro_sub};
+use qda_rev::circuit::Circuit;
+use qda_rev::gate::Control;
+
+/// A built RESDIV instance.
+#[derive(Clone, Debug)]
+pub struct ResdivCircuit {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Lines carrying the divisor input `b` (LSB first), preserved.
+    pub divisor_lines: Vec<usize>,
+    /// Lines carrying the dividend input `a` (LSB first; consumed).
+    pub dividend_lines: Vec<usize>,
+    /// Lines carrying the quotient after execution (LSB first).
+    pub quotient_lines: Vec<usize>,
+    /// Lines carrying the remainder after execution (LSB first).
+    pub remainder_lines: Vec<usize>,
+}
+
+/// Builds an `N`-bit reversible restoring divider.
+///
+/// Inputs: dividend `a` on [`ResdivCircuit::dividend_lines`], divisor `b`
+/// on [`ResdivCircuit::divisor_lines`]; all other lines start at zero.
+/// Outputs: `q = ⌊a/b⌋` and `r = a mod b`. For `b = 0` the quotient reads
+/// all ones and the remainder equals `a` (restoring division's natural
+/// saturation).
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+///
+/// # Example
+///
+/// ```
+/// use qda_arith::resdiv_circuit;
+/// use qda_rev::state::BitState;
+///
+/// let d = resdiv_circuit(4);
+/// let mut s = BitState::zeros(d.circuit.num_lines());
+/// s.write_register(&d.dividend_lines, 13);
+/// s.write_register(&d.divisor_lines, 3);
+/// d.circuit.apply(&mut s);
+/// assert_eq!(s.read_register(&d.quotient_lines), 4);
+/// assert_eq!(s.read_register(&d.remainder_lines), 1);
+/// ```
+pub fn resdiv_circuit(bits: usize) -> ResdivCircuit {
+    assert!(bits > 0, "divider width must be positive");
+    let n = bits;
+    // Line layout:
+    //   0 .. n          : B (divisor) + one permanent zero extension line
+    //   n+1 .. 2n+1     : initial remainder window (N+1 zero lines)
+    //   2n+2 .. 3n+2    : A (dividend)
+    //   3n+2            : adder ancilla (last line)
+    let b_lines: Vec<usize> = (0..=n).collect(); // b + zero top
+    let mut r_window: Vec<usize> = ((n + 1)..(2 * n + 2)).collect();
+    let a_lines: Vec<usize> = ((2 * n + 2)..(3 * n + 2)).collect();
+    let ancilla = 3 * n + 2;
+    let total = 3 * n + 3;
+    let mut circuit = Circuit::new(total);
+    let mut quotient_lines = vec![0usize; n];
+    for i in (0..n).rev() {
+        // Shift: prepend the next dividend line, release the zero top.
+        let released = r_window.pop().expect("window is never empty");
+        r_window.insert(0, a_lines[i]);
+        // Trial subtraction with borrow on the released line.
+        cuccaro_sub(
+            &mut circuit,
+            &b_lines,
+            &r_window,
+            ancilla,
+            Some(released),
+            None,
+        );
+        // Restore when the subtraction went negative.
+        cuccaro_add(
+            &mut circuit,
+            &b_lines,
+            &r_window,
+            ancilla,
+            None,
+            Some(Control::positive(released)),
+        );
+        // Quotient bit = ¬borrow.
+        circuit.not(released);
+        quotient_lines[i] = released;
+    }
+    ResdivCircuit {
+        circuit,
+        divisor_lines: (0..n).collect(),
+        dividend_lines: a_lines,
+        quotient_lines,
+        remainder_lines: r_window,
+    }
+}
+
+/// Builds the reciprocal instance of Table I: a `2n`-bit RESDIV with
+/// `a = 2ⁿ` loaded by the circuit itself, computing `q = ⌊2ⁿ/x⌋`; the
+/// reciprocal `y` is the low `n` quotient bits.
+pub fn resdiv_reciprocal(n: usize) -> ResdivCircuit {
+    let mut d = resdiv_circuit(2 * n);
+    // Prepend the constant load a = 2^n (one X gate).
+    let mut with_load = Circuit::new(d.circuit.num_lines());
+    with_load.not(d.dividend_lines[n]);
+    with_load.extend_from(&d.circuit);
+    d.circuit = with_load;
+    // The divisor is x (n bits used; upper half must be zero).
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_rev::state::BitState;
+
+    fn run(d: &ResdivCircuit, a: u64, b: u64) -> (u64, u64) {
+        let mut s = BitState::zeros(d.circuit.num_lines());
+        s.write_register(&d.dividend_lines, a);
+        s.write_register(&d.divisor_lines, b);
+        d.circuit.apply(&mut s);
+        (
+            s.read_register(&d.quotient_lines),
+            s.read_register(&d.remainder_lines),
+        )
+    }
+
+    #[test]
+    fn divides_exhaustively_4bit() {
+        let d = resdiv_circuit(4);
+        for a in 0..16u64 {
+            for b in 1..16u64 {
+                let (q, r) = run(&d, a, b);
+                assert_eq!(q, a / b, "{a}/{b}");
+                assert_eq!(r & 15, a % b, "{a}%{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn divisor_preserved_and_identity_check() {
+        let d = resdiv_circuit(3);
+        for a in 0..8u64 {
+            for b in 1..8u64 {
+                let mut s = BitState::zeros(d.circuit.num_lines());
+                s.write_register(&d.dividend_lines, a);
+                s.write_register(&d.divisor_lines, b);
+                d.circuit.apply(&mut s);
+                assert_eq!(s.read_register(&d.divisor_lines), b);
+                let q = s.read_register(&d.quotient_lines);
+                let r = s.read_register(&d.remainder_lines);
+                assert_eq!(q * b + (r & 7), a, "a = qb + r for {a}/{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_divisor_saturates() {
+        let d = resdiv_circuit(3);
+        let (q, r) = run(&d, 5, 0);
+        assert_eq!(q, 7);
+        assert_eq!(r & 7, 5);
+    }
+
+    #[test]
+    fn reciprocal_instance_matches_model() {
+        for n in [3usize, 4] {
+            let d = resdiv_reciprocal(n);
+            for x in 1..(1u64 << n) {
+                let mut s = BitState::zeros(d.circuit.num_lines());
+                s.write_register(&d.divisor_lines, x);
+                d.circuit.apply(&mut s);
+                let q = s.read_register(&d.quotient_lines);
+                let y = q & ((1 << n) - 1);
+                assert_eq!(y, crate::recip::recip_intdiv(n, x), "n={n} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn qubit_count_is_about_3n() {
+        for bits in [8usize, 16, 32] {
+            let d = resdiv_circuit(bits);
+            assert_eq!(d.circuit.num_lines(), 3 * bits + 3);
+        }
+        // The Table I instance: 6n + 3.
+        let d = resdiv_reciprocal(8);
+        assert_eq!(d.circuit.num_lines(), 6 * 8 + 3);
+    }
+
+    #[test]
+    fn t_count_scales_quadratically() {
+        let c8 = resdiv_reciprocal(8).circuit.cost().t_count;
+        let c16 = resdiv_reciprocal(16).circuit.cost().t_count;
+        let ratio = c16 as f64 / c8 as f64;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "expected ~4x growth, got {ratio}"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Property-based tests: BDD operations against explicit truth tables.
+
+use proptest::prelude::*;
+use qda_bdd::BddManager;
+use qda_logic::tt::TruthTable;
+
+fn arb_tt(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<u64>(), 1usize.max(1 << n.saturating_sub(6)))
+        .prop_map(move |words| TruthTable::from_words(n, words))
+}
+
+proptest! {
+    #[test]
+    fn bdd_round_trip(tt in arb_tt(6)) {
+        let mut mgr = BddManager::new(6);
+        let f = mgr.from_truth_table(&tt);
+        prop_assert_eq!(mgr.to_truth_table(f), tt);
+    }
+
+    #[test]
+    fn bdd_ops_match_tt_ops(a in arb_tt(6), b in arb_tt(6)) {
+        let mut mgr = BddManager::new(6);
+        let fa = mgr.from_truth_table(&a);
+        let fb = mgr.from_truth_table(&b);
+        let and = mgr.and(fa, fb);
+        let or = mgr.or(fa, fb);
+        let xor = mgr.xor(fa, fb);
+        prop_assert_eq!(mgr.to_truth_table(and), &a & &b);
+        prop_assert_eq!(mgr.to_truth_table(or), &a | &b);
+        prop_assert_eq!(mgr.to_truth_table(xor), &a ^ &b);
+    }
+
+    #[test]
+    fn bdd_canonicity(a in arb_tt(6), b in arb_tt(6)) {
+        // Equal functions produce the *same node*.
+        let mut mgr = BddManager::new(6);
+        let fa = mgr.from_truth_table(&a);
+        let fb = mgr.from_truth_table(&b);
+        prop_assert_eq!(fa == fb, a == b);
+    }
+
+    #[test]
+    fn sat_count_matches_count_ones(tt in arb_tt(6)) {
+        let mut mgr = BddManager::new(6);
+        let f = mgr.from_truth_table(&tt);
+        prop_assert_eq!(mgr.sat_count(f) as u64, tt.count_ones());
+    }
+
+    #[test]
+    fn cofactor_matches_tt_cofactor(tt in arb_tt(6), var in 0usize..6, val in any::<bool>()) {
+        let mut mgr = BddManager::new(6);
+        let f = mgr.from_truth_table(&tt);
+        let cof = mgr.cofactor(f, var, val);
+        prop_assert_eq!(mgr.to_truth_table(cof), tt.cofactor(var, val));
+    }
+}

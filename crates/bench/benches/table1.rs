@@ -1,0 +1,22 @@
+//! Criterion bench for the Table I baselines: construction + costing of
+//! the RESDIV and QNEWTON reciprocal circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qda_arith::{qnewton_circuit, resdiv::resdiv_reciprocal};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_baselines");
+    group.sample_size(10);
+    for n in [8usize, 16] {
+        group.bench_with_input(BenchmarkId::new("resdiv", n), &n, |b, &n| {
+            b.iter(|| resdiv_reciprocal(n).circuit.cost())
+        });
+        group.bench_with_input(BenchmarkId::new("qnewton", n), &n, |b, &n| {
+            b.iter(|| qnewton_circuit(n).circuit.cost())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for the Table II functional flow (embedding + TBS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qda_core::design::Design;
+use qda_core::flow::{Flow, FunctionalFlow};
+
+fn bench_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_functional");
+    group.sample_size(10);
+    let flow = FunctionalFlow::default();
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("intdiv", n), &n, |b, &n| {
+            b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"))
+        });
+        group.bench_with_input(BenchmarkId::new("newton", n), &n, |b, &n| {
+            b.iter(|| flow.run(&Design::newton(n)).expect("flow"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_functional);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion bench for the Table III ESOP flow (REVS p = 0 / p = 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qda_core::design::Design;
+use qda_core::flow::{EsopFlow, Flow};
+
+fn bench_esop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_esop");
+    group.sample_size(10);
+    for p in [0usize, 1] {
+        let flow = EsopFlow::with_factoring(p);
+        for n in [5usize, 6] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("intdiv_p{p}"), n),
+                &n,
+                |b, &n| b.iter(|| flow.run(&Design::intdiv(n)).expect("flow")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_esop);
+criterion_main!(benches);

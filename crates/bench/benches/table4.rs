@@ -1,0 +1,20 @@
+//! Criterion bench for the Table IV hierarchical flow (AIG → XMG → REVS).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qda_core::design::Design;
+use qda_core::flow::{Flow, HierarchicalFlow};
+
+fn bench_hierarchical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_hierarchical");
+    group.sample_size(10);
+    let flow = HierarchicalFlow::default();
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("intdiv", n), &n, |b, &n| {
+            b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchical);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates **Fig. 1** (the design-flow graph) and demonstrates the
+//! design space exploration the flows enable: all three flows on one
+//! design, ranked by each objective, plus the Pareto front in the
+//! (qubits, T-count) plane.
+
+use qda_core::design::Design;
+use qda_core::dse::{DesignSpaceExplorer, Objective};
+use qda_core::flow::{EsopFlow, FlowGraph, FunctionalFlow, HierarchicalFlow};
+use qda_core::report::{group_digits, Table};
+
+fn main() {
+    println!("FIG. 1 — design flows\n");
+    println!("{}", FlowGraph);
+
+    let design = Design::intdiv(6);
+    println!("\nlive design space exploration on {design}:\n");
+    let mut dse = DesignSpaceExplorer::new();
+    dse.add_flow(Box::new(FunctionalFlow::default()));
+    dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+    dse.add_flow(Box::new(EsopFlow::with_factoring(1)));
+    dse.add_flow(Box::new(HierarchicalFlow::default()));
+    dse.explore(&design);
+
+    let mut table = Table::new(
+        "flow outcomes",
+        vec!["flow", "qubits", "T-count", "runtime (s)"],
+    );
+    for o in dse.outcomes() {
+        table.add_row(vec![
+            o.flow_name.clone(),
+            o.cost.qubits.to_string(),
+            group_digits(o.cost.t_count),
+            format!("{:.3}", o.runtime.as_secs_f64()),
+        ]);
+    }
+    println!("{table}");
+
+    for objective in [Objective::Qubits, Objective::TCount, Objective::Runtime] {
+        if let Some(best) = dse.best(objective) {
+            println!(
+                "best by {objective:?}: {} ({} qubits, {} T)",
+                best.flow_name,
+                best.cost.qubits,
+                group_digits(best.cost.t_count)
+            );
+        }
+    }
+    println!("\nPareto front (qubits vs T-count):");
+    for o in dse.pareto_front() {
+        println!(
+            "  {:>6} qubits, {:>10} T — {}",
+            o.cost.qubits,
+            group_digits(o.cost.t_count),
+            o.flow_name
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates **Table I**: baseline results with manual design —
+//! RESDIV(n) and QNEWTON(n) qubit and T-counts for n ∈ {8, 16, 32, 64}.
+//!
+//! Default sweep: n ∈ {8, 16, 32}; `--full` adds n = 64.
+
+use qda_arith::{qnewton_circuit, resdiv::resdiv_reciprocal};
+use qda_bench::runner::parse_args;
+use qda_core::report::{group_digits, Table};
+
+fn main() {
+    let args = parse_args();
+    let mut sizes = vec![8usize, 16, 32];
+    if args.full {
+        sizes.push(64);
+    }
+    let mut table = Table::new(
+        "TABLE I — baseline results with manual design",
+        vec![
+            "n",
+            "RESDIV qubits",
+            "RESDIV T-count",
+            "QNEWTON qubits",
+            "QNEWTON T-count",
+        ],
+    );
+    for n in sizes {
+        let resdiv = resdiv_reciprocal(n).circuit.cost();
+        let qnewton = qnewton_circuit(n).circuit.cost();
+        table.add_row(vec![
+            n.to_string(),
+            resdiv.qubits.to_string(),
+            group_digits(resdiv.t_count),
+            qnewton.qubits.to_string(),
+            group_digits(qnewton.t_count),
+        ]);
+        eprintln!("done n = {n}");
+    }
+    println!("{table}");
+    println!("paper reference (RESDIV qubits/T, QNEWTON qubits/T):");
+    println!("  n=8 : 48 / 8 512      111 / 14 632");
+    println!("  n=16: 96 / 34 944     234 / 64 004");
+    println!("  n=32: 192 / 141 568   615 / 352 440");
+    println!("  n=64: 384 / 569 856   1226 / 1 405 284");
+}

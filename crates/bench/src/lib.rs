@@ -1,0 +1,17 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! Binaries (one per artifact):
+//!
+//! * `table1` — baseline RESDIV/QNEWTON costs (paper Table I),
+//! * `table2` — functional synthesis results (Table II),
+//! * `table3` — REVS ESOP synthesis, `p ∈ {0, 1}` (Table III),
+//! * `table4` — hierarchical synthesis (Table IV),
+//! * `figure1` — the design-flow graph (Fig. 1) plus a live DSE demo,
+//! * `ablation` — the design-choice ablations DESIGN.md calls out.
+//!
+//! All binaries accept `--full` to extend the sweep toward the paper's
+//! largest instances (minutes to hours, like the original experiments) and
+//! default to a laptop-scale subset that still exhibits every reported
+//! trend.
+
+pub mod runner;

@@ -1,0 +1,19 @@
+//! Shared command-line handling for the table binaries.
+
+/// Parsed command-line options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Args {
+    /// Extend the sweep toward the paper's largest instances.
+    pub full: bool,
+}
+
+/// Parses `--full` from the process arguments.
+pub fn parse_args() -> Args {
+    let full = std::env::args().any(|a| a == "--full");
+    Args { full }
+}
+
+/// Formats a `Duration` in seconds with two decimals (the paper's unit).
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

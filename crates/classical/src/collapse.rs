@@ -1,0 +1,126 @@
+//! Collapsing an AIG into per-output BDDs (ABC `collapse`).
+//!
+//! The functional reversible-synthesis flow requires a symbolic, canonical
+//! function representation; the ESOP flow extracts minimized ESOPs from the
+//! same BDDs. Collapsing can blow up — a node budget aborts the attempt,
+//! mirroring how the paper notes that "collapsing does not scale to these
+//! high bitwidths".
+
+use qda_bdd::{Bdd, BddManager};
+use qda_logic::aig::{Aig, Lit};
+use std::fmt;
+
+/// Error: the BDD grew past the node budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CollapseError {
+    /// The budget that was exceeded.
+    pub node_limit: usize,
+}
+
+impl fmt::Display for CollapseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BDD collapse exceeded {} nodes", self.node_limit)
+    }
+}
+
+impl std::error::Error for CollapseError {}
+
+/// Collapses an AIG into one BDD per primary output, sharing a manager.
+///
+/// PI `i` of the AIG becomes BDD variable `i`.
+///
+/// # Errors
+///
+/// Returns [`CollapseError`] when the manager exceeds `node_limit` nodes.
+///
+/// # Example
+///
+/// ```
+/// use qda_logic::aig::Aig;
+/// use qda_classical::collapse::collapse_to_bdds;
+///
+/// let mut aig = Aig::new(2);
+/// let a = aig.pi(0);
+/// let b = aig.pi(1);
+/// let f = aig.xor(a, b);
+/// aig.add_po(f);
+/// let (mgr, bdds) = collapse_to_bdds(&aig, 1_000)?;
+/// assert_eq!(mgr.sat_count(bdds[0]), 2);
+/// # Ok::<(), qda_classical::collapse::CollapseError>(())
+/// ```
+pub fn collapse_to_bdds(
+    aig: &Aig,
+    node_limit: usize,
+) -> Result<(BddManager, Vec<Bdd>), CollapseError> {
+    let mut mgr = BddManager::new(aig.num_pis());
+    let mut map: Vec<Bdd> = vec![Bdd::FALSE; aig.num_nodes()];
+    for i in 0..aig.num_pis() {
+        map[i + 1] = mgr.var(i);
+    }
+    let read = |mgr: &mut BddManager, map: &[Bdd], l: Lit| -> Bdd {
+        let b = map[l.node()];
+        if l.is_complement() {
+            mgr.not(b)
+        } else {
+            b
+        }
+    };
+    for n in (aig.num_pis() + 1)..aig.num_nodes() {
+        let [a, b] = aig.fanins(n);
+        let ba = read(&mut mgr, &map, a);
+        let bb = read(&mut mgr, &map, b);
+        map[n] = mgr.and(ba, bb);
+        if mgr.num_nodes() > node_limit {
+            return Err(CollapseError { node_limit });
+        }
+    }
+    let outs: Vec<Bdd> = aig
+        .pos()
+        .to_vec()
+        .into_iter()
+        .map(|po| read(&mut mgr, &map, po))
+        .collect();
+    Ok((mgr, outs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapse_matches_aig_semantics() {
+        let mut aig = Aig::new(5);
+        let pis: Vec<Lit> = (0..5).map(|i| aig.pi(i)).collect();
+        let s = aig.xor(pis[0], pis[1]);
+        let t = aig.maj(s, pis[2], pis[3]);
+        let u = aig.or(t, !pis[4]);
+        aig.add_po(u);
+        aig.add_po(s);
+        let (mgr, bdds) = collapse_to_bdds(&aig, 10_000).unwrap();
+        for x in 0..32u64 {
+            let y = aig.eval(x);
+            assert_eq!(mgr.eval(bdds[0], x), y & 1 == 1);
+            assert_eq!(mgr.eval(bdds[1], x), (y >> 1) & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn node_limit_aborts() {
+        // A multiplier's middle bits have exponential BDDs; 6x6 with a tiny
+        // limit must abort.
+        let mut aig = Aig::new(12);
+        let a: Vec<Lit> = (0..6).map(|i| aig.pi(i)).collect();
+        let b: Vec<Lit> = (0..6).map(|i| aig.pi(6 + i)).collect();
+        // Poor-man's multiplier high bit: chain of MAJ/XOR mixing.
+        let mut acc = Lit::FALSE;
+        for i in 0..6 {
+            for j in 0..6 {
+                let pp = aig.and(a[i], b[j]);
+                acc = aig.maj(acc, pp, a[(i + j) % 6]);
+            }
+        }
+        aig.add_po(acc);
+        let r = collapse_to_bdds(&aig, 40);
+        assert!(r.is_err());
+    }
+}

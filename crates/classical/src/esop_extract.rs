@@ -1,0 +1,157 @@
+//! ESOP extraction from BDDs via PSDKRO expansion.
+//!
+//! A pseudo-Kronecker (PSDKRO) expression is obtained by choosing, at every
+//! BDD node, the cheapest of the three expansions
+//!
+//! * Shannon:         `f = x̄·f₀ ⊕ x·f₁`
+//! * positive Davio:  `f = f₀ ⊕ x·f₂`
+//! * negative Davio:  `f = f₁ ⊕ x̄·f₂`
+//!
+//! with `f₂ = f₀ ⊕ f₁`. The recursion is memoized per BDD node, so shared
+//! subfunctions are expanded once. The result is the starting point for
+//! [`crate::exorcism`] minimization — together they stand in for ABC's
+//! `&exorcism` in the paper's ESOP flow.
+
+use qda_bdd::{Bdd, BddManager};
+use qda_logic::cube::Cube;
+use qda_logic::esop::{Esop, MultiEsop};
+use std::collections::HashMap;
+
+/// Extracts a single-output ESOP from a BDD.
+pub fn extract_esop(mgr: &mut BddManager, f: Bdd) -> Esop {
+    let mut memo: HashMap<Bdd, Vec<Cube>> = HashMap::new();
+    let cubes = rec(mgr, f, &mut memo);
+    Esop::from_cubes(mgr.num_vars(), cubes)
+}
+
+fn rec(mgr: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Vec<Cube>>) -> Vec<Cube> {
+    if f == Bdd::FALSE {
+        return Vec::new();
+    }
+    if f == Bdd::TRUE {
+        return vec![Cube::tautology()];
+    }
+    if let Some(c) = memo.get(&f) {
+        return c.clone();
+    }
+    let var = mgr.top_var(f) as usize;
+    let (f0, f1) = mgr.branches(f, var as u32);
+    let f2 = mgr.xor(f0, f1);
+    let c0 = rec(mgr, f0, memo);
+    let c1 = rec(mgr, f1, memo);
+    let c2 = rec(mgr, f2, memo);
+    // Pick the expansion minimizing cube count (ties favour Davio, which
+    // produces literal-free branches).
+    let shannon = c0.len() + c1.len();
+    let pdavio = c0.len() + c2.len();
+    let ndavio = c1.len() + c2.len();
+    let best = shannon.min(pdavio).min(ndavio);
+    let cubes: Vec<Cube> = if best == pdavio {
+        c0.iter()
+            .copied()
+            .chain(c2.iter().map(|c| c.with_literal(var, true)))
+            .collect()
+    } else if best == ndavio {
+        c1.iter()
+            .copied()
+            .chain(c2.iter().map(|c| c.with_literal(var, false)))
+            .collect()
+    } else {
+        c0.iter()
+            .map(|c| c.with_literal(var, false))
+            .chain(c1.iter().map(|c| c.with_literal(var, true)))
+            .collect()
+    };
+    memo.insert(f, cubes.clone());
+    cubes
+}
+
+/// Extracts a shared multi-output ESOP from per-output BDDs (cubes feeding
+/// several outputs are stored once with a combined output mask).
+///
+/// # Panics
+///
+/// Panics if `outputs` is empty or has more than 64 entries.
+pub fn extract_multi_esop(mgr: &mut BddManager, outputs: &[Bdd]) -> MultiEsop {
+    assert!(!outputs.is_empty() && outputs.len() <= 64);
+    let esops: Vec<Esop> = outputs.iter().map(|&f| extract_esop(mgr, f)).collect();
+    MultiEsop::from_single_outputs(&esops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_logic::tt::TruthTable;
+
+    fn tt_to_esop(tt: &TruthTable) -> Esop {
+        let mut mgr = BddManager::new(tt.num_vars());
+        let f = mgr.from_truth_table(tt);
+        extract_esop(&mut mgr, f)
+    }
+
+    #[test]
+    fn parity_is_linear_in_cubes() {
+        // x0 ⊕ x1 ⊕ x2 ⊕ x3 needs exactly 4 cubes in PSDKRO (one per
+        // variable) versus 8 minterms.
+        let tt = TruthTable::from_fn(4, |x| x.count_ones() % 2 == 1);
+        let esop = tt_to_esop(&tt);
+        assert_eq!(esop.to_truth_table(), tt);
+        assert_eq!(esop.len(), 4);
+    }
+
+    #[test]
+    fn and_is_single_cube() {
+        let tt = TruthTable::from_fn(3, |x| x == 7);
+        let esop = tt_to_esop(&tt);
+        assert_eq!(esop.len(), 1);
+        assert_eq!(esop.cubes()[0].num_literals(), 3);
+    }
+
+    #[test]
+    fn random_functions_round_trip() {
+        for seed in 0..12u64 {
+            let tt = TruthTable::from_fn(5, |x| {
+                (x.wrapping_mul(2654435761).wrapping_add(seed * 97) >> 3) & 1 == 1
+            });
+            let esop = tt_to_esop(&tt);
+            assert_eq!(esop.to_truth_table(), tt, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn psdkro_beats_minterm_expansion() {
+        // A dense function: majority of 5.
+        let tt = TruthTable::from_fn(5, |x| x.count_ones() >= 3);
+        let esop = tt_to_esop(&tt);
+        assert_eq!(esop.to_truth_table(), tt);
+        assert!((esop.len() as u64) < tt.count_ones());
+    }
+
+    #[test]
+    fn multi_output_shares_cubes() {
+        let mut mgr = BddManager::new(3);
+        let x0 = mgr.var(0);
+        let x1 = mgr.var(1);
+        let and01 = mgr.and(x0, x1);
+        let x2 = mgr.var(2);
+        let g = mgr.xor(and01, x2);
+        let multi = extract_multi_esop(&mut mgr, &[and01, g]);
+        let tts = multi.to_truth_table();
+        for x in 0..8u64 {
+            let e0 = (x & 1) & ((x >> 1) & 1);
+            let e1 = e0 ^ ((x >> 2) & 1);
+            assert_eq!(tts.eval(x), e0 | (e1 << 1));
+        }
+        // The x0&x1 cube is shared: 2 distinct cubes total, not 3.
+        assert_eq!(multi.len(), 2);
+    }
+
+    #[test]
+    fn constants() {
+        let mut mgr = BddManager::new(2);
+        assert!(extract_esop(&mut mgr, Bdd::FALSE).is_empty());
+        let one = extract_esop(&mut mgr, Bdd::TRUE);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.cubes()[0].num_literals(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Exorcism-style multi-output ESOP minimization.
+//!
+//! Implements the cube-pair rewriting loop of Mishchenko & Perkowski's
+//! EXORCISM-4 (Reed–Muller workshop 2001), which the paper invokes as ABC's
+//! `&exorcism`:
+//!
+//! * distance-0 pairs (same cube) cancel by XOR-ing output masks,
+//! * distance-1 pairs with equal masks merge into one cube,
+//! * distance-2 pairs with equal masks are *exorlinked*: the pair is
+//!   replaced by an equivalent pair, accepted when it reduces the literal
+//!   count or unlocks a new distance-0/1 reduction.
+//!
+//! The loop runs until a fixpoint or the iteration budget is reached.
+
+
+use qda_logic::esop::MultiEsop;
+
+/// Options for [`minimize_esop`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExorcismOptions {
+    /// Maximum number of full improvement sweeps.
+    pub max_rounds: usize,
+    /// Whether to attempt distance-2 exorlink rewrites.
+    pub exorlink2: bool,
+}
+
+impl Default for ExorcismOptions {
+    fn default() -> Self {
+        Self {
+            max_rounds: 24,
+            exorlink2: true,
+        }
+    }
+}
+
+/// Minimizes a multi-output ESOP in place; returns the number of cubes
+/// eliminated.
+///
+/// # Example
+///
+/// ```
+/// use qda_logic::cube::Cube;
+/// use qda_logic::esop::MultiEsop;
+/// use qda_classical::exorcism::{minimize_esop, ExorcismOptions};
+///
+/// // x̄y ⊕ xy  ==  y
+/// let mut esop = MultiEsop::from_cubes(2, 1, vec![
+///     (Cube::tautology().with_literal(0, false).with_literal(1, true), 1),
+///     (Cube::tautology().with_literal(0, true).with_literal(1, true), 1),
+/// ]);
+/// let before = esop.to_truth_table();
+/// minimize_esop(&mut esop, &ExorcismOptions::default());
+/// assert_eq!(esop.len(), 1);
+/// assert_eq!(esop.to_truth_table(), before);
+/// ```
+pub fn minimize_esop(esop: &mut MultiEsop, options: &ExorcismOptions) -> usize {
+    let initial = esop.len();
+    esop.dedupe();
+    for _ in 0..options.max_rounds {
+        let mut changed = merge_distance_one(esop);
+        if options.exorlink2 {
+            changed |= exorlink_pass(esop);
+        }
+        esop.dedupe();
+        if !changed {
+            break;
+        }
+    }
+    initial.saturating_sub(esop.len())
+}
+
+/// Merges all distance-1 pairs with identical output masks. Returns whether
+/// anything changed.
+fn merge_distance_one(esop: &mut MultiEsop) -> bool {
+    let mut changed = false;
+    loop {
+        let cubes = esop.cubes_mut();
+        let mut merged = None;
+        'search: for i in 0..cubes.len() {
+            for j in (i + 1)..cubes.len() {
+                if cubes[i].1 != cubes[j].1 {
+                    continue;
+                }
+                if let Some(m) = cubes[i].0.merge_distance_one(&cubes[j].0) {
+                    merged = Some((i, j, m));
+                    break 'search;
+                }
+            }
+        }
+        match merged {
+            Some((i, j, m)) => {
+                let mask = cubes[i].1;
+                cubes[j] = (m, mask);
+                cubes.swap_remove(i);
+                changed = true;
+            }
+            None => return changed,
+        }
+    }
+}
+
+/// One sweep of exorlink-2 rewrites; a rewrite is kept when it triggers a
+/// follow-up merge (cube count reduction) or lowers the literal count.
+fn exorlink_pass(esop: &mut MultiEsop) -> bool {
+    let mut changed = false;
+    let n = esop.len();
+    'pairs: for i in 0..n {
+        for j in (i + 1)..n {
+            let (ci, mi) = esop.cubes()[i];
+            let (cj, mj) = esop.cubes()[j];
+            if mi != mj || ci.distance(&cj) != 2 {
+                continue;
+            }
+            for which in 0..2 {
+                let Some((a, b)) = ci.exorlink2(&cj, which) else {
+                    continue;
+                };
+                // Accept if the rewritten pair merges with something else
+                // (lookahead) or strictly reduces literals.
+                let current_lits = ci.num_literals() + cj.num_literals();
+                let new_lits = a.num_literals() + b.num_literals();
+                let unlocks = esop.cubes().iter().enumerate().any(|(k, &(ck, mk))| {
+                    k != i && k != j
+                        && mk == mi
+                        && (ck.distance(&a) <= 1 || ck.distance(&b) <= 1)
+                });
+                if unlocks || new_lits < current_lits {
+                    let cubes = esop.cubes_mut();
+                    cubes[i] = (a, mi);
+                    cubes[j] = (b, mi);
+                    changed = true;
+                    continue 'pairs;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_logic::esop::Esop;
+    use qda_logic::tt::TruthTable;
+
+    fn from_minterms(tt: &TruthTable) -> MultiEsop {
+        MultiEsop::from_single_outputs(&[Esop::from_truth_table(tt)])
+    }
+
+    #[test]
+    fn minimizes_single_variable_function() {
+        // All 8 minterms of x1 over 4 vars must collapse to one cube.
+        let tt = TruthTable::from_fn(4, |x| (x >> 1) & 1 == 1);
+        let mut esop = from_minterms(&tt);
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert_eq!(esop.len(), 1);
+        assert_eq!(esop.to_truth_table().outputs()[0], tt);
+    }
+
+    #[test]
+    fn preserves_function_on_random_inputs() {
+        for seed in 0..10u64 {
+            let tt = TruthTable::from_fn(5, |x| {
+                (x.wrapping_mul(0x9E3779B9).wrapping_add(seed * 131) >> 2) & 1 == 1
+            });
+            let mut esop = from_minterms(&tt);
+            let before = esop.len();
+            minimize_esop(&mut esop, &ExorcismOptions::default());
+            assert_eq!(esop.to_truth_table().outputs()[0], tt, "seed {seed}");
+            assert!(esop.len() <= before);
+        }
+    }
+
+    #[test]
+    fn exorlink_enables_further_merges() {
+        // Three minterms of 2 vars: 00, 01, 10. Distance-1 merges give one
+        // pair; exorlink finishes the job: result is 2 cubes (e.g. x̄ ⊕ x ȳ).
+        let tt = TruthTable::from_fn(2, |x| x != 3);
+        let mut esop = from_minterms(&tt);
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert!(esop.len() <= 2);
+        assert_eq!(esop.to_truth_table().outputs()[0], tt);
+    }
+
+    #[test]
+    fn respects_output_masks() {
+        // Identical cubes feeding different outputs must not merge.
+        let c0 = qda_logic::cube::Cube::minterm(2, 1);
+        let c1 = qda_logic::cube::Cube::minterm(2, 2);
+        let mut esop = MultiEsop::from_cubes(2, 2, vec![(c0, 0b01), (c1, 0b10)]);
+        let before = esop.to_truth_table();
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert_eq!(esop.to_truth_table(), before);
+        assert_eq!(esop.len(), 2);
+    }
+
+    #[test]
+    fn multi_output_minimization_preserves_all_outputs() {
+        let t0 = TruthTable::from_fn(4, |x| x % 3 == 0);
+        let t1 = TruthTable::from_fn(4, |x| x % 3 == 1);
+        let mut esop = MultiEsop::from_single_outputs(&[
+            Esop::from_truth_table(&t0),
+            Esop::from_truth_table(&t1),
+        ]);
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        let tts = esop.to_truth_table();
+        assert_eq!(tts.outputs()[0], t0);
+        assert_eq!(tts.outputs()[1], t1);
+    }
+
+    #[test]
+    fn reports_eliminated_count() {
+        let tt = TruthTable::from_fn(3, |x| x < 4); // = x̄2: 4 minterms → 1 cube
+        let mut esop = from_minterms(&tt);
+        let eliminated = minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert_eq!(eliminated, 3);
+    }
+}

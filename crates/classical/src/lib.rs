@@ -1,0 +1,25 @@
+//! Classical logic synthesis: the middle level of the paper's design flows.
+//!
+//! This crate plays the role ABC and CirKit play in the paper:
+//!
+//! * [`rewrite`] — AIG optimization (the `dc2`/`resyn2` step),
+//! * [`collapse`] — AIG → BDD collapsing (ABC `collapse`),
+//! * [`esop_extract`] — BDD → ESOP via PSDKRO expansion,
+//! * [`exorcism`] — exorcism-style multi-output ESOP minimization
+//!   (ABC `&exorcism`),
+//! * [`cut`] — k-feasible cut enumeration,
+//! * [`xmg_map`] — AIG → XMG mapping over 4-feasible cuts
+//!   (CirKit `xmglut -k 4`).
+
+pub mod collapse;
+pub mod cut;
+pub mod esop_extract;
+pub mod exorcism;
+pub mod rewrite;
+pub mod xmg_map;
+
+pub use collapse::collapse_to_bdds;
+pub use esop_extract::extract_multi_esop;
+pub use exorcism::minimize_esop;
+pub use rewrite::optimize_aig;
+pub use xmg_map::map_to_xmg;

@@ -1,0 +1,330 @@
+//! AIG optimization: the crate's stand-in for ABC's `dc2` / `resyn2`.
+//!
+//! Three passes, composed and iterated by [`optimize_aig`]:
+//!
+//! 1. **Strash rebuild** — reconstructs the AIG bottom-up through the
+//!    structural-hashing constructor, folding constants and duplicate
+//!    structure introduced by earlier passes.
+//! 2. **Balance** — collects maximal AND trees and rebuilds them as
+//!    balanced trees (reduces depth, often exposes sharing).
+//! 3. **Fraig-lite** — for AIGs with ≤ 16 inputs, computes the exact truth
+//!    table of every node and merges functionally equivalent (or
+//!    antivalent) nodes. This is exact (no SAT needed) because the whole
+//!    input space fits in the simulation vectors.
+
+use qda_logic::aig::{Aig, Lit};
+use std::collections::HashMap;
+
+/// Options controlling [`optimize_aig`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizeOptions {
+    /// Number of rebuild+balance rounds.
+    pub rounds: usize,
+    /// Enable the exact fraig pass for ≤ `fraig_limit`-input AIGs.
+    pub fraig_limit: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        Self {
+            rounds: 3,
+            fraig_limit: 16,
+        }
+    }
+}
+
+/// Optimizes an AIG, returning a functionally equivalent, usually smaller
+/// one. Mirrors the role of several `dc2` rounds in the paper's flows.
+///
+/// # Example
+///
+/// ```
+/// use qda_logic::aig::Aig;
+/// use qda_classical::rewrite::{optimize_aig, OptimizeOptions};
+///
+/// let mut aig = Aig::new(2);
+/// let a = aig.pi(0);
+/// let b = aig.pi(1);
+/// let x = aig.xor(a, b);
+/// let y = aig.xor(a, b); // shared by hashing already
+/// let f = aig.and(x, y); // = x
+/// aig.add_po(f);
+/// let opt = optimize_aig(&aig, &OptimizeOptions::default());
+/// assert!(opt.num_ands() <= aig.num_ands());
+/// ```
+pub fn optimize_aig(aig: &Aig, options: &OptimizeOptions) -> Aig {
+    let mut cur = aig.cleanup();
+    for _ in 0..options.rounds {
+        let balanced = balance(&cur);
+        let fraiged = if balanced.num_pis() <= options.fraig_limit {
+            fraig_exact(&balanced)
+        } else {
+            balanced
+        };
+        if fraiged.num_ands() >= cur.num_ands() {
+            break;
+        }
+        cur = fraiged;
+    }
+    cur
+}
+
+/// Rebuilds the AIG with balanced AND trees.
+///
+/// Maximal single-fanout AND chains are collected into n-ary conjunctions
+/// and re-emitted as balanced trees, reducing logic depth.
+pub fn balance(aig: &Aig) -> Aig {
+    let fanout = fanout_counts(aig);
+    let mut out = Aig::new(aig.num_pis());
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..=aig.num_pis() {
+        map[i] = Lit::new(i, false);
+    }
+    for n in (aig.num_pis() + 1)..aig.num_nodes() {
+        // Collect the maximal AND tree rooted here, stopping at
+        // multi-fanout or complemented edges.
+        let mut leaves = Vec::new();
+        collect_and_leaves(aig, Lit::new(n, false), n, &fanout, &mut leaves);
+        let mapped: Vec<Lit> = leaves
+            .iter()
+            .map(|l| map[l.node()] ^ l.is_complement())
+            .collect();
+        map[n] = out.and_many(&mapped);
+    }
+    for po in aig.pos() {
+        let l = map[po.node()] ^ po.is_complement();
+        out.add_po(l);
+    }
+    out.cleanup()
+}
+
+fn collect_and_leaves(aig: &Aig, lit: Lit, root: usize, fanout: &[usize], leaves: &mut Vec<Lit>) {
+    let n = lit.node();
+    let expandable = !lit.is_complement()
+        && aig.is_and(n)
+        && (n == root || fanout[n] == 1);
+    if expandable {
+        let [a, b] = aig.fanins(n);
+        collect_and_leaves(aig, a, root, fanout, leaves);
+        collect_and_leaves(aig, b, root, fanout, leaves);
+    } else {
+        leaves.push(lit);
+    }
+}
+
+fn fanout_counts(aig: &Aig) -> Vec<usize> {
+    let mut counts = vec![0usize; aig.num_nodes()];
+    for n in (aig.num_pis() + 1)..aig.num_nodes() {
+        let [a, b] = aig.fanins(n);
+        counts[a.node()] += 1;
+        counts[b.node()] += 1;
+    }
+    for po in aig.pos() {
+        counts[po.node()] += 1;
+    }
+    counts
+}
+
+/// Exact functional reduction for AIGs with few inputs: every node's full
+/// truth table is computed and equivalent/antivalent nodes are merged.
+///
+/// # Panics
+///
+/// Panics if the AIG has more than 20 inputs (table blow-up guard).
+pub fn fraig_exact(aig: &Aig) -> Aig {
+    assert!(aig.num_pis() <= 20, "fraig_exact limited to 20 inputs");
+    let n_in = aig.num_pis();
+    let words_per_node = 1usize.max((1usize << n_in) / 64);
+    // values[node] = packed truth table.
+    let total = 1u64 << n_in;
+    let mut values: Vec<Vec<u64>> = vec![vec![0; words_per_node]; aig.num_nodes()];
+    // PIs.
+    for pi in 0..n_in {
+        for x in 0..total {
+            if (x >> pi) & 1 == 1 {
+                values[pi + 1][(x >> 6) as usize] |= 1 << (x & 63);
+            }
+        }
+    }
+    let mask = if n_in >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << n_in)) - 1
+    };
+    let read = |values: &Vec<Vec<u64>>, l: Lit, w: usize| -> u64 {
+        let v = values[l.node()][w];
+        if l.is_complement() {
+            !v & mask
+        } else {
+            v & mask
+        }
+    };
+    let mut out = Aig::new(n_in);
+    let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
+    for i in 0..=n_in {
+        map[i] = Lit::new(i, false);
+    }
+    // Canonical table (with complement normalization: lowest bit clear).
+    let mut canon: HashMap<Vec<u64>, Lit> = HashMap::new();
+    canon.insert(vec![0; words_per_node], Lit::FALSE);
+    for pi in 0..n_in {
+        let tt: Vec<u64> = (0..words_per_node)
+            .map(|w| values[pi + 1][w] & mask)
+            .collect();
+        canon.insert(tt, Lit::new(pi + 1, false));
+    }
+    for n in (n_in + 1)..aig.num_nodes() {
+        let [a, b] = aig.fanins(n);
+        for w in 0..words_per_node {
+            values[n][w] = read(&values, a, w) & read(&values, b, w);
+        }
+        // Normalize: store with bit 0 = 0.
+        let tt: Vec<u64> = (0..words_per_node).map(|w| values[n][w] & mask).collect();
+        let complemented = tt[0] & 1 == 1;
+        let key: Vec<u64> = if complemented {
+            tt.iter().map(|w| !w & mask).collect()
+        } else {
+            tt.clone()
+        };
+        if let Some(&rep) = canon.get(&key) {
+            map[n] = rep ^ complemented;
+        } else {
+            let la = map[a.node()] ^ a.is_complement();
+            let lb = map[b.node()] ^ b.is_complement();
+            let lit = out.and(la, lb);
+            map[n] = lit;
+            canon.insert(key, lit ^ complemented);
+        }
+    }
+    for po in aig.pos() {
+        let l = map[po.node()] ^ po.is_complement();
+        out.add_po(l);
+    }
+    out.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_logic::sim::{check_aig_equivalence, EquivalenceOutcome};
+
+    fn random_aig(num_pis: usize, num_ands: usize, seed: u64) -> Aig {
+        // Deterministic pseudo-random AIG builder.
+        let mut aig = Aig::new(num_pis);
+        let mut lits: Vec<Lit> = (0..num_pis).map(|i| aig.pi(i)).collect();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..num_ands {
+            let a = lits[(next() as usize) % lits.len()] ^ (next() & 1 == 1);
+            let b = lits[(next() as usize) % lits.len()] ^ (next() & 1 == 1);
+            let f = aig.and(a, b);
+            lits.push(f);
+        }
+        for _ in 0..3 {
+            let po = lits[(next() as usize) % lits.len()];
+            aig.add_po(po);
+        }
+        aig
+    }
+
+    #[test]
+    fn balance_preserves_function_and_reduces_depth() {
+        let mut aig = Aig::new(8);
+        let mut acc = aig.pi(0);
+        for i in 1..8 {
+            let p = aig.pi(i);
+            acc = aig.and(acc, p);
+        }
+        aig.add_po(acc);
+        let bal = balance(&aig);
+        assert_eq!(
+            check_aig_equivalence(&aig, &bal, 10, 4),
+            EquivalenceOutcome::Equivalent
+        );
+        assert!(bal.depth() < aig.depth());
+        assert_eq!(bal.depth(), 3);
+    }
+
+    #[test]
+    fn fraig_merges_equivalent_nodes() {
+        let mut aig = Aig::new(3);
+        let (a, b, c) = (aig.pi(0), aig.pi(1), aig.pi(2));
+        // Two structurally different XORs of (a, b).
+        let x1 = aig.xor(a, b);
+        let or = aig.or(a, b);
+        let nand = !aig.and(a, b);
+        let x2 = aig.and(or, nand);
+        let f = aig.and(x1, c);
+        let g = aig.and(x2, c);
+        aig.add_po(f);
+        aig.add_po(g);
+        let red = fraig_exact(&aig);
+        assert_eq!(
+            check_aig_equivalence(&aig, &red, 10, 4),
+            EquivalenceOutcome::Equivalent
+        );
+        // f and g collapse to the same node.
+        assert_eq!(red.pos()[0], red.pos()[1]);
+    }
+
+    #[test]
+    fn fraig_detects_antivalence() {
+        let mut aig = Aig::new(2);
+        let (a, b) = (aig.pi(0), aig.pi(1));
+        let xor = aig.xor(a, b);
+        let xnor = {
+            let n = aig.and(a, b);
+            let m = aig.and(!a, !b);
+            aig.or(n, m)
+        };
+        aig.add_po(xor);
+        aig.add_po(xnor);
+        let red = fraig_exact(&aig);
+        assert_eq!(
+            check_aig_equivalence(&aig, &red, 10, 4),
+            EquivalenceOutcome::Equivalent
+        );
+        assert_eq!(red.pos()[0], !red.pos()[1]);
+    }
+
+    #[test]
+    fn optimize_random_aigs_preserves_semantics() {
+        for seed in [1u64, 7, 42, 99] {
+            let aig = random_aig(6, 40, seed);
+            let opt = optimize_aig(&aig, &OptimizeOptions::default());
+            assert_eq!(
+                check_aig_equivalence(&aig, &opt, 10, 8),
+                EquivalenceOutcome::Equivalent,
+                "seed {seed}"
+            );
+            assert!(opt.num_ands() <= aig.num_ands());
+        }
+    }
+
+    #[test]
+    fn optimize_skips_fraig_for_wide_aigs() {
+        let aig = random_aig(24, 60, 3);
+        let opt = optimize_aig(
+            &aig,
+            &OptimizeOptions {
+                rounds: 2,
+                fraig_limit: 16,
+            },
+        );
+        assert!(check_aig_equivalence(&aig, &opt, 12, 16).is_ok());
+    }
+
+    #[test]
+    fn fraig_on_wide_tables_uses_words() {
+        // 8 inputs → 4 words per node; exercise the multi-word path.
+        let aig = random_aig(8, 50, 11);
+        let red = fraig_exact(&aig);
+        assert_eq!(
+            check_aig_equivalence(&aig, &red, 10, 4),
+            EquivalenceOutcome::Equivalent
+        );
+    }
+}

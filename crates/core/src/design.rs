@@ -1,0 +1,131 @@
+//! Design-level entry points: the Verilog designs the flows start from.
+
+use qda_logic::aig::Aig;
+use qda_verilog::{elaborate, parse_module, VerilogError};
+use std::fmt;
+
+/// Which reciprocal implementation a design uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum DesignKind {
+    /// Integer division `2ⁿ / x` (paper §III-1).
+    IntDiv,
+    /// Newton–Raphson fixed point (paper §III-2).
+    Newton,
+}
+
+/// A parameterized design: the reciprocal with a specific bitwidth,
+/// expressed in Verilog.
+///
+/// # Example
+///
+/// ```
+/// use qda_core::design::Design;
+///
+/// let d = Design::intdiv(8);
+/// assert_eq!(d.name(), "INTDIV(8)");
+/// let aig = d.to_aig()?;
+/// assert_eq!(aig.num_pis(), 8);
+/// # Ok::<(), qda_verilog::VerilogError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Design {
+    kind: DesignKind,
+    bits: usize,
+}
+
+impl Design {
+    /// The INTDIV(n) design.
+    pub fn intdiv(bits: usize) -> Self {
+        Self {
+            kind: DesignKind::IntDiv,
+            bits,
+        }
+    }
+
+    /// The NEWTON(n) design.
+    pub fn newton(bits: usize) -> Self {
+        Self {
+            kind: DesignKind::Newton,
+            bits,
+        }
+    }
+
+    /// The design kind.
+    pub fn kind(&self) -> DesignKind {
+        self.kind
+    }
+
+    /// Input/output bitwidth `n`.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Paper-style name, e.g. `INTDIV(8)`.
+    pub fn name(&self) -> String {
+        match self.kind {
+            DesignKind::IntDiv => format!("INTDIV({})", self.bits),
+            DesignKind::Newton => format!("NEWTON({})", self.bits),
+        }
+    }
+
+    /// The Verilog source of the design.
+    pub fn verilog(&self) -> String {
+        match self.kind {
+            DesignKind::IntDiv => qda_arith::intdiv_verilog(self.bits),
+            DesignKind::Newton => qda_arith::newton_verilog(self.bits),
+        }
+    }
+
+    /// Parses and elaborates the design into an AIG — the entry into the
+    /// logic-synthesis level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parser/elaborator failures (which would indicate a
+    /// generator bug).
+    pub fn to_aig(&self) -> Result<Aig, VerilogError> {
+        let module = parse_module(&self.verilog())?;
+        elaborate(&module)
+    }
+}
+
+impl fmt::Display for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_convention() {
+        assert_eq!(Design::intdiv(16).name(), "INTDIV(16)");
+        assert_eq!(Design::newton(8).name(), "NEWTON(8)");
+    }
+
+    #[test]
+    fn aig_matches_golden_models() {
+        let d = Design::intdiv(6);
+        let aig = d.to_aig().unwrap();
+        for x in 1..64u64 {
+            assert_eq!(aig.eval(x), qda_arith::recip_intdiv(6, x));
+        }
+        let d = Design::newton(5);
+        let aig = d.to_aig().unwrap();
+        for x in 1..32u64 {
+            assert_eq!(aig.eval(x), qda_arith::recip_newton(5, x));
+        }
+    }
+
+    #[test]
+    fn designs_are_value_types() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Design::intdiv(8));
+        set.insert(Design::intdiv(8));
+        set.insert(Design::newton(8));
+        assert_eq!(set.len(), 2);
+    }
+}

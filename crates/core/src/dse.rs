@@ -1,0 +1,165 @@
+//! Design space exploration across flows (the paper's headline
+//! capability: "the designer can optimize the synthesis output with
+//! respect to several objectives such as space (number of qubits), time
+//! (number of quantum operations), or runtime of the design flow").
+
+use crate::design::Design;
+use crate::flow::{Flow, FlowError, FlowOutcome};
+use std::time::Duration;
+
+/// Optimization objective for picking a winner.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Objective {
+    /// Minimize qubits (space).
+    Qubits,
+    /// Minimize T-count (time on the quantum computer).
+    TCount,
+    /// Minimize flow runtime (design productivity).
+    Runtime,
+}
+
+/// Runs a set of flows on a design and ranks the outcomes.
+///
+/// # Example
+///
+/// ```
+/// use qda_core::design::Design;
+/// use qda_core::dse::{DesignSpaceExplorer, Objective};
+/// use qda_core::flow::{EsopFlow, FunctionalFlow};
+///
+/// let mut dse = DesignSpaceExplorer::new();
+/// dse.add_flow(Box::new(FunctionalFlow::default()));
+/// dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+/// dse.explore(&Design::intdiv(4));
+/// let best = dse.best(Objective::Qubits).expect("at least one success");
+/// assert_eq!(best.cost.qubits, 7); // TBS wins on qubits
+/// ```
+#[derive(Default)]
+pub struct DesignSpaceExplorer {
+    flows: Vec<Box<dyn Flow>>,
+    outcomes: Vec<FlowOutcome>,
+    failures: Vec<(String, FlowError)>,
+}
+
+impl DesignSpaceExplorer {
+    /// An explorer with no flows registered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a flow.
+    pub fn add_flow(&mut self, flow: Box<dyn Flow>) {
+        self.flows.push(flow);
+    }
+
+    /// Runs every registered flow on `design`, collecting successes and
+    /// failures. Returns the number of successful outcomes added.
+    pub fn explore(&mut self, design: &Design) -> usize {
+        let mut added = 0;
+        for flow in &self.flows {
+            match flow.run(design) {
+                Ok(outcome) => {
+                    self.outcomes.push(outcome);
+                    added += 1;
+                }
+                Err(e) => self.failures.push((flow.name(), e)),
+            }
+        }
+        added
+    }
+
+    /// All successful outcomes so far.
+    pub fn outcomes(&self) -> &[FlowOutcome] {
+        &self.outcomes
+    }
+
+    /// Flows that failed, with reasons.
+    pub fn failures(&self) -> &[(String, FlowError)] {
+        &self.failures
+    }
+
+    /// The best outcome under an objective.
+    pub fn best(&self, objective: Objective) -> Option<&FlowOutcome> {
+        self.outcomes.iter().min_by_key(|o| match objective {
+            Objective::Qubits => (o.cost.qubits as u64, o.cost.t_count),
+            Objective::TCount => (o.cost.t_count, o.cost.qubits as u64),
+            Objective::Runtime => (o.runtime.as_micros() as u64, o.cost.t_count),
+        })
+    }
+
+    /// The Pareto-optimal outcomes in the (qubits, T-count) plane —
+    /// exactly the trade-off surface the paper's Tables II–IV trace out.
+    pub fn pareto_front(&self) -> Vec<&FlowOutcome> {
+        let mut front: Vec<&FlowOutcome> = Vec::new();
+        for o in &self.outcomes {
+            let dominated = self.outcomes.iter().any(|p| {
+                (p.cost.qubits < o.cost.qubits && p.cost.t_count <= o.cost.t_count)
+                    || (p.cost.qubits <= o.cost.qubits && p.cost.t_count < o.cost.t_count)
+            });
+            if !dominated {
+                front.push(o);
+            }
+        }
+        front.sort_by_key(|o| o.cost.qubits);
+        front
+    }
+
+    /// Total exploration time across all successful outcomes.
+    pub fn total_runtime(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.runtime).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{EsopFlow, FunctionalFlow, HierarchicalFlow};
+
+    fn explored(n: usize) -> DesignSpaceExplorer {
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(FunctionalFlow::default()));
+        dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+        dse.add_flow(Box::new(HierarchicalFlow::default()));
+        dse.explore(&Design::intdiv(n));
+        dse
+    }
+
+    #[test]
+    fn explores_all_flows() {
+        let dse = explored(4);
+        assert_eq!(dse.outcomes().len(), 3);
+        assert!(dse.failures().is_empty());
+    }
+
+    #[test]
+    fn objectives_pick_different_winners() {
+        let dse = explored(5);
+        let by_qubits = dse.best(Objective::Qubits).unwrap();
+        let by_t = dse.best(Objective::TCount).unwrap();
+        // TBS wins qubits; hierarchical wins T-count (the paper's central
+        // trade-off).
+        assert!(by_qubits.flow_name.contains("functional"));
+        assert!(by_qubits.cost.qubits <= by_t.cost.qubits);
+        assert!(by_t.cost.t_count <= by_qubits.cost.t_count);
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let dse = explored(5);
+        let front = dse.pareto_front();
+        assert!(!front.is_empty());
+        for pair in front.windows(2) {
+            assert!(pair[0].cost.qubits <= pair[1].cost.qubits);
+            assert!(pair[0].cost.t_count >= pair[1].cost.t_count);
+        }
+    }
+
+    #[test]
+    fn failures_are_recorded_not_fatal() {
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(FunctionalFlow::default()));
+        let added = dse.explore(&Design::intdiv(16)); // too large for TBS
+        assert_eq!(added, 0);
+        assert_eq!(dse.failures().len(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Paper-style result tables and baseline comparisons.
+
+use crate::flow::FlowOutcome;
+use std::fmt;
+
+/// A plain-text table with the look of the paper's result tables.
+///
+/// # Example
+///
+/// ```
+/// use qda_core::report::Table;
+///
+/// let mut t = Table::new("TABLE X", vec!["n", "qubits", "T-count"]);
+/// t.add_row(vec!["8".into(), "15".into(), "51 386".into()]);
+/// assert!(t.to_string().contains("TABLE X"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: Vec<&str>) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the header.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders a row of a [`FlowOutcome`] in the paper's column
+    /// convention: `n`, qubits, T-count, runtime (seconds).
+    pub fn outcome_row(outcome: &FlowOutcome) -> Vec<String> {
+        vec![
+            outcome.design.bits().to_string(),
+            outcome.cost.qubits.to_string(),
+            group_digits(outcome.cost.t_count),
+            format!("{:.2}", outcome.runtime.as_secs_f64()),
+        ]
+    }
+}
+
+/// Formats an integer with thin thousand groups, as the paper prints
+/// T-counts (`51 386`).
+pub fn group_digits(value: u64) -> String {
+    let digits = value.to_string();
+    let mut out = String::new();
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(' ');
+        }
+        out.push(c);
+    }
+    out
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (w, cell) in widths.iter().zip(cells) {
+                write!(f, " {cell:>w$} ", w = w)?;
+            }
+            writeln!(f)
+        };
+        print_row(f, &self.headers)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Ratio helper for the paper's prose claims ("the number of qubits is
+/// 3.2× smaller compared to the RESDIV baseline").
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// Numerator (usually the baseline).
+    pub baseline: f64,
+    /// Denominator (usually ours).
+    pub candidate: f64,
+}
+
+impl Comparison {
+    /// Builds from two counts.
+    pub fn of(baseline: u64, candidate: u64) -> Self {
+        Self {
+            baseline: baseline as f64,
+            candidate: candidate as f64,
+        }
+    }
+
+    /// How many times smaller the candidate is (`baseline / candidate`).
+    pub fn times_smaller(&self) -> f64 {
+        self.baseline / self.candidate
+    }
+
+    /// How many times larger the candidate is (`candidate / baseline`).
+    pub fn times_larger(&self) -> f64 {
+        self.candidate / self.baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping_matches_paper_style() {
+        assert_eq!(group_digits(51386), "51 386");
+        assert_eq!(group_digits(71155258), "71 155 258");
+        assert_eq!(group_digits(597), "597");
+        assert_eq!(group_digits(0), "0");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("TABLE II", vec!["n", "qubits", "T-count", "runtime"]);
+        t.add_row(vec!["4".into(), "7".into(), "597".into(), "0.10".into()]);
+        t.add_row(vec!["8".into(), "15".into(), "51 386".into(), "0.74".into()]);
+        let s = t.to_string();
+        assert!(s.contains("TABLE II"));
+        assert!(s.contains("51 386"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", vec!["a", "b"]);
+        t.add_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn comparison_ratios() {
+        let c = Comparison::of(48, 15);
+        assert!((c.times_smaller() - 3.2).abs() < 0.01);
+        let c = Comparison::of(100, 250);
+        assert!((c.times_larger() - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,490 @@
+//! And-inverter graphs (AIGs).
+//!
+//! An [`Aig`] is a DAG whose internal nodes are two-input ANDs and whose
+//! edges may be complemented. It is the workhorse of the logic-synthesis
+//! level: the Verilog frontend bit-blasts into an AIG, `qda-classical`
+//! optimizes it, and all three reversible back-ends consume it (after
+//! collapsing to a BDD, extracting an ESOP, or mapping to an XMG).
+//!
+//! Nodes are stored in topological order (fanins always precede fanouts),
+//! node 0 is the constant false, nodes `1..=num_pis` are the primary
+//! inputs. Structural hashing makes node construction canonical.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A literal: a reference to an AIG node together with a complement flag.
+///
+/// # Example
+///
+/// ```
+/// use qda_logic::aig::Aig;
+///
+/// let mut aig = Aig::new(2);
+/// let a = aig.pi(0);
+/// let b = aig.pi(1);
+/// let f = aig.and(a, !b);
+/// aig.add_po(f);
+/// assert_eq!(aig.eval(0b01), 0b1); // a & !b with a=1, b=0
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node index and complement flag.
+    pub fn new(node: usize, complement: bool) -> Self {
+        Lit((node as u32) << 1 | u32::from(complement))
+    }
+
+    /// Node index this literal points at.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+
+    /// Raw encoding (`2*node + complement`), the AIGER convention.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+/// An And-inverter graph.
+#[derive(Clone)]
+pub struct Aig {
+    /// `fanins[i]` for `i > num_pis` holds the two fanin literals of AND
+    /// node `i`; entries for the constant and the PIs are unused.
+    fanins: Vec<[Lit; 2]>,
+    num_pis: usize,
+    pos: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), usize>,
+}
+
+impl Aig {
+    /// Creates an AIG with `num_pis` primary inputs and no outputs.
+    pub fn new(num_pis: usize) -> Self {
+        Self {
+            fanins: vec![[Lit::FALSE; 2]; num_pis + 1],
+            num_pis,
+            pos: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// Number of primary outputs.
+    pub fn num_pos(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Number of AND nodes (excludes constant and PIs).
+    pub fn num_ands(&self) -> usize {
+        self.fanins.len() - self.num_pis - 1
+    }
+
+    /// Total node count including constant and PIs.
+    pub fn num_nodes(&self) -> usize {
+        self.fanins.len()
+    }
+
+    /// The literal of primary input `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_pis`.
+    pub fn pi(&self, i: usize) -> Lit {
+        assert!(i < self.num_pis, "PI {i} out of range");
+        Lit::new(i + 1, false)
+    }
+
+    /// The primary-output literals.
+    pub fn pos(&self) -> &[Lit] {
+        &self.pos
+    }
+
+    /// Registers a primary output and returns its index.
+    pub fn add_po(&mut self, lit: Lit) -> usize {
+        self.pos.push(lit);
+        self.pos.len() - 1
+    }
+
+    /// Replaces output `i` with a new literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_po(&mut self, i: usize, lit: Lit) {
+        self.pos[i] = lit;
+    }
+
+    /// Whether node `i` is an AND gate (vs. constant/PI).
+    pub fn is_and(&self, node: usize) -> bool {
+        node > self.num_pis
+    }
+
+    /// Whether node `i` is a primary input.
+    pub fn is_pi(&self, node: usize) -> bool {
+        node >= 1 && node <= self.num_pis
+    }
+
+    /// Fanins of AND node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an AND node.
+    pub fn fanins(&self, node: usize) -> [Lit; 2] {
+        assert!(self.is_and(node), "node {node} is not an AND");
+        self.fanins[node]
+    }
+
+    /// Creates (or reuses) the AND of two literals, applying trivial
+    /// simplification rules and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Normalize operand order for canonical hashing.
+        let (a, b) = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        if a == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        if let Some(&n) = self.strash.get(&(a, b)) {
+            return Lit::new(n, false);
+        }
+        let n = self.fanins.len();
+        self.fanins.push([a, b]);
+        self.strash.insert((a, b), n);
+        Lit::new(n, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR composed of three ANDs (no structural XOR nodes in an AIG).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n = self.and(a, !b);
+        let m = self.and(!a, b);
+        self.or(n, m)
+    }
+
+    /// XNOR.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer `s ? t : e`.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(s, t);
+        let b = self.and(!s, e);
+        self.or(a, b)
+    }
+
+    /// Majority-of-three.
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Conjunction of many literals (balanced tree).
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => Lit::TRUE,
+            [l] => *l,
+            _ => {
+                let mid = lits.len() / 2;
+                let (lo, hi) = lits.split_at(mid);
+                let a = self.and_many(lo);
+                let b = self.and_many(hi);
+                self.and(a, b)
+            }
+        }
+    }
+
+    /// Evaluates all outputs on one assignment (bit `i` of `x` = PI `i`),
+    /// returning the output word. Usable for up to 64 PIs and 64 POs.
+    pub fn eval(&self, x: u64) -> u64 {
+        let mut values = vec![false; self.fanins.len()];
+        for i in 0..self.num_pis {
+            values[i + 1] = (x >> i) & 1 == 1;
+        }
+        for n in (self.num_pis + 1)..self.fanins.len() {
+            let [a, b] = self.fanins[n];
+            values[n] = (values[a.node()] ^ a.is_complement())
+                && (values[b.node()] ^ b.is_complement());
+        }
+        let mut y = 0u64;
+        for (j, po) in self.pos.iter().enumerate() {
+            if values[po.node()] ^ po.is_complement() {
+                y |= 1 << j;
+            }
+        }
+        y
+    }
+
+    /// 64-way parallel simulation: `inputs[i]` carries 64 assignments for
+    /// PI `i`; returns one word per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_pis`.
+    pub fn simulate_words(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.num_pis, "one word per PI expected");
+        let mut values = vec![0u64; self.fanins.len()];
+        values[1..=self.num_pis].copy_from_slice(inputs);
+        for n in (self.num_pis + 1)..self.fanins.len() {
+            let [a, b] = self.fanins[n];
+            let va = values[a.node()] ^ if a.is_complement() { u64::MAX } else { 0 };
+            let vb = values[b.node()] ^ if b.is_complement() { u64::MAX } else { 0 };
+            values[n] = va & vb;
+        }
+        values
+    }
+
+    /// Value of a literal given per-node simulation words.
+    pub fn lit_value(values: &[u64], lit: Lit) -> u64 {
+        values[lit.node()] ^ if lit.is_complement() { u64::MAX } else { 0 }
+    }
+
+    /// Logic level (depth) of every node; PIs and the constant are level 0.
+    pub fn levels(&self) -> Vec<usize> {
+        let mut lv = vec![0usize; self.fanins.len()];
+        for n in (self.num_pis + 1)..self.fanins.len() {
+            let [a, b] = self.fanins[n];
+            lv[n] = 1 + lv[a.node()].max(lv[b.node()]);
+        }
+        lv
+    }
+
+    /// Depth of the AIG (max output level).
+    pub fn depth(&self) -> usize {
+        let lv = self.levels();
+        self.pos.iter().map(|po| lv[po.node()]).max().unwrap_or(0)
+    }
+
+    /// Removes nodes not reachable from any output, preserving PIs.
+    /// Returns the cleaned AIG (node indices change).
+    pub fn cleanup(&self) -> Aig {
+        let mut reach = vec![false; self.fanins.len()];
+        let mut stack: Vec<usize> = self.pos.iter().map(|p| p.node()).collect();
+        while let Some(n) = stack.pop() {
+            if reach[n] || !self.is_and(n) {
+                reach[n] = true;
+                continue;
+            }
+            reach[n] = true;
+            let [a, b] = self.fanins[n];
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+        let mut out = Aig::new(self.num_pis);
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.fanins.len()];
+        for i in 0..=self.num_pis {
+            map[i] = Lit::new(i, false);
+        }
+        for n in (self.num_pis + 1)..self.fanins.len() {
+            if !reach[n] {
+                continue;
+            }
+            let [a, b] = self.fanins[n];
+            let la = map[a.node()] ^ a.is_complement();
+            let lb = map[b.node()] ^ b.is_complement();
+            map[n] = out.and(la, lb);
+        }
+        for po in &self.pos {
+            let l = map[po.node()] ^ po.is_complement();
+            out.add_po(l);
+        }
+        out
+    }
+
+    /// Explicit truth tables of all outputs (`num_pis ≤ 20` recommended).
+    pub fn to_truth_tables(&self) -> crate::tt::MultiTruthTable {
+        use crate::tt::{MultiTruthTable, TruthTable};
+        let n = self.num_pis;
+        // Simulate in 64-assignment batches.
+        let mut outs = vec![TruthTable::zero(n); self.pos.len()];
+        let total = 1u64 << n;
+        let mut base = 0u64;
+        while base < total {
+            let mut inputs = vec![0u64; n];
+            for k in 0..64.min(total - base) {
+                let x = base + k;
+                for (i, inp) in inputs.iter_mut().enumerate() {
+                    if (x >> i) & 1 == 1 {
+                        *inp |= 1 << k;
+                    }
+                }
+            }
+            let values = self.simulate_words(&inputs);
+            for (j, po) in self.pos.iter().enumerate() {
+                let w = Self::lit_value(&values, *po);
+                for k in 0..64.min(total - base) {
+                    if (w >> k) & 1 == 1 {
+                        outs[j].set(base + k, true);
+                    }
+                }
+            }
+            base += 64;
+        }
+        MultiTruthTable::from_outputs(outs)
+    }
+}
+
+impl std::ops::BitXor<bool> for Lit {
+    type Output = Lit;
+    fn bitxor(self, rhs: bool) -> Lit {
+        Lit(self.0 ^ u32::from(rhs))
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig({} PIs, {} ANDs, {} POs, depth {})",
+            self.num_pis,
+            self.num_ands(),
+            self.pos.len(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_rules() {
+        let mut aig = Aig::new(1);
+        let a = aig.pi(0);
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(a, Lit::TRUE), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_reuses_nodes() {
+        let mut aig = Aig::new(2);
+        let a = aig.pi(0);
+        let b = aig.pi(1);
+        let f = aig.and(a, b);
+        let g = aig.and(b, a);
+        assert_eq!(f, g);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn xor_mux_maj_semantics() {
+        let mut aig = Aig::new(3);
+        let a = aig.pi(0);
+        let b = aig.pi(1);
+        let c = aig.pi(2);
+        let x = aig.xor(a, b);
+        let m = aig.mux(a, b, c);
+        let j = aig.maj(a, b, c);
+        aig.add_po(x);
+        aig.add_po(m);
+        aig.add_po(j);
+        for input in 0..8u64 {
+            let (va, vb, vc) = (input & 1, (input >> 1) & 1, (input >> 2) & 1);
+            let y = aig.eval(input);
+            assert_eq!(y & 1, va ^ vb, "xor at {input}");
+            assert_eq!((y >> 1) & 1, if va == 1 { vb } else { vc }, "mux at {input}");
+            assert_eq!((y >> 2) & 1, u64::from(va + vb + vc >= 2), "maj at {input}");
+        }
+    }
+
+    #[test]
+    fn simulate_words_matches_eval() {
+        let mut aig = Aig::new(4);
+        let pis: Vec<Lit> = (0..4).map(|i| aig.pi(i)).collect();
+        let t = aig.xor(pis[0], pis[1]);
+        let u = aig.maj(t, pis[2], pis[3]);
+        aig.add_po(u);
+        let tts = aig.to_truth_tables();
+        for x in 0..16u64 {
+            assert_eq!(u64::from(tts.outputs()[0].get(x)), aig.eval(x));
+        }
+    }
+
+    #[test]
+    fn cleanup_drops_dead_nodes() {
+        let mut aig = Aig::new(2);
+        let a = aig.pi(0);
+        let b = aig.pi(1);
+        let _dead = aig.xor(a, b);
+        let live = aig.and(a, b);
+        aig.add_po(live);
+        let cleaned = aig.cleanup();
+        assert_eq!(cleaned.num_ands(), 1);
+        for x in 0..4u64 {
+            assert_eq!(cleaned.eval(x), aig.eval(x));
+        }
+    }
+
+    #[test]
+    fn and_many_balanced() {
+        let mut aig = Aig::new(5);
+        let lits: Vec<Lit> = (0..5).map(|i| aig.pi(i)).collect();
+        let all = aig.and_many(&lits);
+        aig.add_po(all);
+        for x in 0..32u64 {
+            assert_eq!(aig.eval(x), u64::from(x == 31));
+        }
+        assert_eq!(aig.and_many(&[]), Lit::TRUE);
+    }
+
+    #[test]
+    fn depth_and_levels() {
+        let mut aig = Aig::new(4);
+        let pis: Vec<Lit> = (0..4).map(|i| aig.pi(i)).collect();
+        let chain = pis.iter().copied().reduce(|acc, p| aig.and(acc, p)).unwrap();
+        aig.add_po(chain);
+        assert_eq!(aig.depth(), 3);
+    }
+}

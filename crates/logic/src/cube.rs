@@ -1,0 +1,400 @@
+//! Product-term cubes over up to 64 variables.
+//!
+//! A [`Cube`] is a conjunction of literals. Each variable position takes one
+//! of three values: positive literal (`1`), negative literal (`0`), or
+//! absent (`-`). Cubes are the building blocks of the two-level [ESOP]
+//! representation and map one-to-one onto mixed-polarity multiple-controlled
+//! Toffoli gates during ESOP-based reversible synthesis.
+//!
+//! [ESOP]: crate::esop::Esop
+
+use std::fmt;
+
+/// A product term (cube) over at most 64 variables.
+///
+/// Internally two bit masks: `care` marks the variables that appear in the
+/// cube and `polarity` gives their phase (only meaningful where `care` is
+/// set).
+///
+/// # Example
+///
+/// ```
+/// use qda_logic::cube::Cube;
+///
+/// // x0 & !x2
+/// let c = Cube::tautology().with_literal(0, true).with_literal(2, false);
+/// assert!(c.eval(0b001));
+/// assert!(!c.eval(0b101));
+/// assert_eq!(c.num_literals(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    care: u64,
+    polarity: u64,
+}
+
+impl Cube {
+    /// The empty product (constant one / tautology cube).
+    pub fn tautology() -> Self {
+        Self { care: 0, polarity: 0 }
+    }
+
+    /// Builds a cube from raw masks.
+    ///
+    /// Bits of `polarity` outside `care` are ignored (normalized away).
+    pub fn from_masks(care: u64, polarity: u64) -> Self {
+        Self {
+            care,
+            polarity: polarity & care,
+        }
+    }
+
+    /// The minterm cube fixing all `num_vars` variables to the bits of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 64`.
+    pub fn minterm(num_vars: usize, x: u64) -> Self {
+        assert!(num_vars <= 64);
+        let care = if num_vars == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_vars) - 1
+        };
+        Self::from_masks(care, x)
+    }
+
+    /// Returns a copy with the literal on `var` set to `positive`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= 64`.
+    #[must_use]
+    pub fn with_literal(mut self, var: usize, positive: bool) -> Self {
+        assert!(var < 64);
+        self.care |= 1 << var;
+        if positive {
+            self.polarity |= 1 << var;
+        } else {
+            self.polarity &= !(1 << var);
+        }
+        self
+    }
+
+    /// Returns a copy with `var` removed from the cube.
+    #[must_use]
+    pub fn without_var(mut self, var: usize) -> Self {
+        self.care &= !(1 << var);
+        self.polarity &= !(1 << var);
+        self
+    }
+
+    /// Care mask: bit `i` set iff variable `i` appears.
+    pub fn care(&self) -> u64 {
+        self.care
+    }
+
+    /// Polarity mask (subset of the care mask).
+    pub fn polarity(&self) -> u64 {
+        self.polarity
+    }
+
+    /// Whether variable `var` appears in the cube.
+    pub fn contains(&self, var: usize) -> bool {
+        (self.care >> var) & 1 == 1
+    }
+
+    /// The phase of `var` if it appears.
+    pub fn literal(&self, var: usize) -> Option<bool> {
+        self.contains(var).then(|| (self.polarity >> var) & 1 == 1)
+    }
+
+    /// Number of literals.
+    pub fn num_literals(&self) -> usize {
+        self.care.count_ones() as usize
+    }
+
+    /// Evaluates the cube on assignment `x`.
+    pub fn eval(&self, x: u64) -> bool {
+        (x ^ self.polarity) & self.care == 0
+    }
+
+    /// Iterator over `(var, positive)` literals, ascending by variable.
+    pub fn literals(&self) -> impl Iterator<Item = (usize, bool)> + '_ {
+        (0..64)
+            .filter(move |v| self.contains(*v))
+            .map(move |v| (v, (self.polarity >> v) & 1 == 1))
+    }
+
+    /// The cube containing the literals common to `self` and `other`
+    /// (same variable, same phase).
+    pub fn common(&self, other: &Cube) -> Cube {
+        let both = self.care & other.care;
+        let agree = both & !(self.polarity ^ other.polarity);
+        Cube::from_masks(agree, self.polarity)
+    }
+
+    /// Removes from `self` every literal present in `sub` (used when a
+    /// shared sub-cube has been factored onto an ancilla).
+    #[must_use]
+    pub fn strip(&self, sub: &Cube) -> Cube {
+        let drop = sub.care & self.care & !(self.polarity ^ sub.polarity);
+        Cube::from_masks(self.care & !drop, self.polarity)
+    }
+
+    /// ESOP distance between two cubes: the number of variable positions
+    /// whose three-valued entries (`0`, `1`, `-`) differ.
+    pub fn distance(&self, other: &Cube) -> u32 {
+        let care_diff = self.care ^ other.care;
+        let both = self.care & other.care;
+        let pol_diff = both & (self.polarity ^ other.polarity);
+        (care_diff | pol_diff).count_ones()
+    }
+
+    /// Merges two cubes at ESOP distance 1 into the single equivalent cube
+    /// (`a ⊕ b` is again a cube when they differ in exactly one position).
+    ///
+    /// Returns `None` if the distance is not 1.
+    pub fn merge_distance_one(&self, other: &Cube) -> Option<Cube> {
+        if self.distance(other) != 1 {
+            return None;
+        }
+        let care_diff = self.care ^ other.care;
+        if care_diff != 0 {
+            // One cube has a literal on v, the other does not.
+            let v = care_diff.trailing_zeros() as usize;
+            let (with, _without) = if self.contains(v) {
+                (self, other)
+            } else {
+                (other, self)
+            };
+            // c ⊕ (l & c) = !l & c : flip the phase of the literal.
+            let positive = with.literal(v).expect("literal present");
+            Some(with.without_var(v).with_literal(v, !positive))
+        } else {
+            // Same care set, one phase differs: x&c ⊕ !x&c = c.
+            let both = self.care & other.care;
+            let pol_diff = both & (self.polarity ^ other.polarity);
+            let v = pol_diff.trailing_zeros() as usize;
+            Some(self.without_var(v))
+        }
+    }
+
+    /// `exorlink-2`: rewrites a distance-2 cube pair `{a, b}` into an
+    /// equivalent pair. For each of the two differing positions there is one
+    /// alternative pair; `which` in `{0, 1}` selects it.
+    ///
+    /// Returns `None` if the distance is not 2.
+    ///
+    /// This is the classic move of exorcism-style ESOP minimization
+    /// (Mishchenko & Perkowski, Reed-Muller workshop 2001): the rewritten
+    /// pair sometimes enables new distance-0/1 merges.
+    pub fn exorlink2(&self, other: &Cube, which: usize) -> Option<(Cube, Cube)> {
+        if self.distance(other) != 2 {
+            return None;
+        }
+        let positions: Vec<usize> = {
+            let care_diff = self.care ^ other.care;
+            let both = self.care & other.care;
+            let pol_diff = both & (self.polarity ^ other.polarity);
+            (0..64).filter(|v| ((care_diff | pol_diff) >> v) & 1 == 1).collect()
+        };
+        debug_assert_eq!(positions.len(), 2);
+        // Write a = A_p A_q C and b = B_p B_q C (C: the agreeing rest). With
+        // D_v the difference entry χ_{A_v} ⊕ χ_{B_v}:
+        //   a ⊕ b = A_p D_q C ⊕ D_p B_q C   (which = 0)
+        //         = D_p A_q C ⊕ B_p D_q C   (which = 1)
+        let (p, q) = (positions[0], positions[1]);
+        let d_p = entry_difference(entry(self, p), entry(other, p))?;
+        let d_q = entry_difference(entry(self, q), entry(other, q))?;
+        if which % 2 == 0 {
+            Some((set_entry(self, q, d_q), set_entry(other, p, d_p)))
+        } else {
+            Some((set_entry(self, p, d_p), set_entry(other, q, d_q)))
+        }
+    }
+
+    /// Whether `self` covers `other` (every assignment of `other` satisfies
+    /// `self`); i.e. `self`'s literals are a subset of `other`'s.
+    pub fn covers(&self, other: &Cube) -> bool {
+        self.care & other.care == self.care && (self.polarity ^ other.polarity) & self.care == 0
+    }
+
+    /// Renders the cube over `num_vars` positions as a `01-` string,
+    /// variable 0 first.
+    pub fn to_pla_string(&self, num_vars: usize) -> String {
+        (0..num_vars)
+            .map(|v| match self.literal(v) {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => '-',
+            })
+            .collect()
+    }
+}
+
+/// Three-valued cube entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Entry {
+    Zero,
+    One,
+    DontCare,
+}
+
+fn entry(c: &Cube, v: usize) -> Entry {
+    match c.literal(v) {
+        Some(true) => Entry::One,
+        Some(false) => Entry::Zero,
+        None => Entry::DontCare,
+    }
+}
+
+fn set_entry(c: &Cube, v: usize, e: Entry) -> Cube {
+    match e {
+        Entry::Zero => c.with_literal(v, false),
+        Entry::One => c.with_literal(v, true),
+        Entry::DontCare => c.without_var(v),
+    }
+}
+
+/// For differing entries a != b, the "difference" entry d such that the
+/// characteristic functions satisfy χ_a ⊕ χ_b = χ_d on that variable:
+/// {0,1} → -, {0,-} → 1, {1,-} → 0.
+fn entry_difference(a: Entry, b: Entry) -> Option<Entry> {
+    use Entry::*;
+    match (a, b) {
+        (Zero, One) | (One, Zero) => Some(DontCare),
+        (Zero, DontCare) | (DontCare, Zero) => Some(One),
+        (One, DontCare) | (DontCare, One) => Some(Zero),
+        _ => None,
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube({})", self.to_pla_string(64.min(64 - self.care.leading_zeros() as usize + 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_pair(a: &Cube, b: &Cube, x: u64) -> bool {
+        a.eval(x) ^ b.eval(x)
+    }
+
+    #[test]
+    fn minterm_and_eval() {
+        let c = Cube::minterm(4, 0b1010);
+        assert!(c.eval(0b1010));
+        assert!(!c.eval(0b1011));
+        assert_eq!(c.num_literals(), 4);
+    }
+
+    #[test]
+    fn distance_counts_three_valued_positions() {
+        let a = Cube::tautology().with_literal(0, true).with_literal(1, false);
+        let b = Cube::tautology().with_literal(0, false).with_literal(1, false);
+        assert_eq!(a.distance(&b), 1);
+        let c = Cube::tautology().with_literal(1, false);
+        assert_eq!(a.distance(&c), 1);
+        assert_eq!(b.distance(&c), 1);
+        let d = Cube::tautology().with_literal(2, true);
+        assert_eq!(a.distance(&d), 3);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn merge_distance_one_is_xor_equivalent() {
+        let cases = [
+            (
+                Cube::tautology().with_literal(0, true).with_literal(1, true),
+                Cube::tautology().with_literal(0, false).with_literal(1, true),
+            ),
+            (
+                Cube::tautology().with_literal(0, true).with_literal(1, true),
+                Cube::tautology().with_literal(1, true),
+            ),
+            (
+                Cube::tautology().with_literal(2, false),
+                Cube::tautology(),
+            ),
+        ];
+        for (a, b) in cases {
+            let m = a.merge_distance_one(&b).expect("distance 1");
+            for x in 0..16u64 {
+                assert_eq!(m.eval(x), eval_pair(&a, &b, x), "a={a:?} b={b:?} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_rejects_wrong_distance() {
+        let a = Cube::minterm(3, 0);
+        let b = Cube::minterm(3, 3);
+        assert_eq!(a.distance(&b), 2);
+        assert!(a.merge_distance_one(&b).is_none());
+    }
+
+    #[test]
+    fn exorlink2_preserves_function() {
+        let pairs = [
+            (Cube::minterm(3, 0b000), Cube::minterm(3, 0b011)),
+            (
+                Cube::tautology().with_literal(0, true),
+                Cube::tautology().with_literal(1, false),
+            ),
+            (
+                Cube::tautology().with_literal(0, true).with_literal(2, true),
+                Cube::tautology().with_literal(0, false).with_literal(2, false),
+            ),
+        ];
+        for (a, b) in pairs {
+            for which in 0..2 {
+                let (a1, b1) = a.exorlink2(&b, which).expect("distance 2");
+                for x in 0..8u64 {
+                    assert_eq!(
+                        eval_pair(&a, &b, x),
+                        eval_pair(&a1, &b1, x),
+                        "a={a:?} b={b:?} which={which} x={x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn common_and_strip() {
+        let a = Cube::tautology()
+            .with_literal(0, true)
+            .with_literal(1, false)
+            .with_literal(2, true);
+        let b = Cube::tautology()
+            .with_literal(0, true)
+            .with_literal(1, true)
+            .with_literal(2, true);
+        let c = a.common(&b);
+        assert_eq!(c.num_literals(), 2);
+        assert_eq!(c.literal(0), Some(true));
+        assert_eq!(c.literal(2), Some(true));
+        let s = a.strip(&c);
+        assert_eq!(s.num_literals(), 1);
+        assert_eq!(s.literal(1), Some(false));
+    }
+
+    #[test]
+    fn covers_subset_semantics() {
+        let big = Cube::tautology().with_literal(0, true);
+        let small = Cube::tautology().with_literal(0, true).with_literal(1, false);
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        assert!(Cube::tautology().covers(&small));
+    }
+
+    #[test]
+    fn pla_rendering() {
+        let c = Cube::tautology().with_literal(0, true).with_literal(3, false);
+        assert_eq!(c.to_pla_string(4), "1--0");
+    }
+}

@@ -1,0 +1,192 @@
+//! Random-simulation utilities shared by semi-canonicalization
+//! ("fraig-lite") and equivalence checking.
+
+use crate::aig::Aig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A deterministic pattern source producing 64-assignment simulation words.
+///
+/// # Example
+///
+/// ```
+/// use qda_logic::sim::PatternSource;
+///
+/// let mut src = PatternSource::new(4, 0xDEADBEEF);
+/// let words = src.next_patterns();
+/// assert_eq!(words.len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PatternSource {
+    num_vars: usize,
+    rng: StdRng,
+}
+
+impl PatternSource {
+    /// Creates a source for `num_vars` inputs with a fixed seed
+    /// (reproducible runs).
+    pub fn new(num_vars: usize, seed: u64) -> Self {
+        Self {
+            num_vars,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next batch: one random 64-assignment word per input.
+    pub fn next_patterns(&mut self) -> Vec<u64> {
+        (0..self.num_vars).map(|_| self.rng.gen()).collect()
+    }
+}
+
+/// Outcome of a (possibly incomplete) equivalence check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EquivalenceOutcome {
+    /// Proven equivalent by exhaustive enumeration.
+    Equivalent,
+    /// A distinguishing input assignment was found.
+    CounterExample(u64),
+    /// No mismatch found within the simulation budget (inconclusive but
+    /// high-confidence for randomized checks).
+    ProbablyEquivalent { patterns_tested: u64 },
+}
+
+impl EquivalenceOutcome {
+    /// Whether no counterexample was found.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, EquivalenceOutcome::CounterExample(_))
+    }
+}
+
+/// Checks two AIGs for combinational equivalence.
+///
+/// Exhaustive when `num_pis ≤ exhaustive_limit`, randomized otherwise
+/// (mirrors how the paper uses ABC `cec` to validate every synthesized
+/// design). Both AIGs must agree on PI/PO counts.
+///
+/// # Panics
+///
+/// Panics if the interfaces disagree.
+pub fn check_aig_equivalence(a: &Aig, b: &Aig, exhaustive_limit: usize, random_rounds: u64) -> EquivalenceOutcome {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
+    let n = a.num_pis();
+    if n <= exhaustive_limit {
+        for x in 0..(1u64 << n) {
+            if a.eval(x) != b.eval(x) {
+                return EquivalenceOutcome::CounterExample(x);
+            }
+        }
+        return EquivalenceOutcome::Equivalent;
+    }
+    let mut src = PatternSource::new(n, 0x5EED_CAFE);
+    for _ in 0..random_rounds {
+        let patterns = src.next_patterns();
+        let va = a.simulate_words(&patterns);
+        let vb = b.simulate_words(&patterns);
+        for (j, (pa, pb)) in a.pos().iter().zip(b.pos().iter()).enumerate() {
+            let wa = Aig::lit_value(&va, *pa);
+            let wb = Aig::lit_value(&vb, *pb);
+            if wa != wb {
+                // Reconstruct one distinguishing assignment.
+                let bit = (wa ^ wb).trailing_zeros() as u64;
+                let mut x = 0u64;
+                for (i, w) in patterns.iter().enumerate() {
+                    if (w >> bit) & 1 == 1 {
+                        x |= 1 << i;
+                    }
+                }
+                let _ = j;
+                return EquivalenceOutcome::CounterExample(x);
+            }
+        }
+    }
+    EquivalenceOutcome::ProbablyEquivalent {
+        patterns_tested: random_rounds * 64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Aig;
+
+    fn xor_chain(n: usize) -> Aig {
+        let mut aig = Aig::new(n);
+        let mut acc = aig.pi(0);
+        for i in 1..n {
+            let p = aig.pi(i);
+            acc = aig.xor(acc, p);
+        }
+        aig.add_po(acc);
+        aig
+    }
+
+    fn xor_tree(n: usize) -> Aig {
+        let mut aig = Aig::new(n);
+        let mut lits: Vec<_> = (0..n).map(|i| aig.pi(i)).collect();
+        while lits.len() > 1 {
+            let mut next = Vec::new();
+            for pair in lits.chunks(2) {
+                if pair.len() == 2 {
+                    let x = aig.xor(pair[0], pair[1]);
+                    next.push(x);
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            lits = next;
+        }
+        aig.add_po(lits[0]);
+        aig
+    }
+
+    #[test]
+    fn exhaustive_equivalence_of_restructured_logic() {
+        let a = xor_chain(6);
+        let b = xor_tree(6);
+        assert_eq!(
+            check_aig_equivalence(&a, &b, 10, 4),
+            EquivalenceOutcome::Equivalent
+        );
+    }
+
+    #[test]
+    fn exhaustive_finds_counterexample() {
+        let a = xor_chain(4);
+        let mut b = xor_chain(4);
+        let p0 = b.pi(0);
+        let new_po = {
+            let old = b.pos()[0];
+            b.and(old, p0)
+        };
+        b.set_po(0, new_po);
+        match check_aig_equivalence(&a, &b, 10, 4) {
+            EquivalenceOutcome::CounterExample(x) => {
+                assert_ne!(a.eval(x), b.eval(x));
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn randomized_check_large_inputs() {
+        let a = xor_chain(20);
+        let b = xor_tree(20);
+        assert!(check_aig_equivalence(&a, &b, 10, 16).is_ok());
+    }
+
+    #[test]
+    fn randomized_check_finds_difference() {
+        let a = xor_chain(20);
+        let mut b = xor_tree(20);
+        let p = b.pi(3);
+        let bad = {
+            let old = b.pos()[0];
+            b.or(old, p)
+        };
+        b.set_po(0, bad);
+        match check_aig_equivalence(&a, &b, 10, 16) {
+            EquivalenceOutcome::CounterExample(x) => assert_ne!(a.eval(x), b.eval(x)),
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the core Boolean data structures.
+
+use proptest::prelude::*;
+use qda_logic::cube::Cube;
+use qda_logic::esop::Esop;
+use qda_logic::npn::{apply_transform, npn_canonical};
+use qda_logic::tt::TruthTable;
+
+fn arb_tt(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<u64>(), 1usize.max(1 << n.saturating_sub(6)))
+        .prop_map(move |words| TruthTable::from_words(n, words))
+}
+
+fn arb_cube(n: usize) -> impl Strategy<Value = Cube> {
+    (any::<u64>(), any::<u64>()).prop_map(move |(care, pol)| {
+        let mask = (1u64 << n) - 1;
+        Cube::from_masks(care & mask, pol)
+    })
+}
+
+proptest! {
+    #[test]
+    fn tt_double_complement_is_identity(tt in arb_tt(7)) {
+        prop_assert_eq!(&!&!&tt, &tt);
+    }
+
+    #[test]
+    fn tt_xor_self_is_zero(tt in arb_tt(7)) {
+        prop_assert!((&tt ^ &tt).is_zero());
+    }
+
+    #[test]
+    fn tt_de_morgan(a in arb_tt(6), b in arb_tt(6)) {
+        let lhs = !&(&a & &b);
+        let rhs = &!&a | &!&b;
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn tt_cofactor_shannon_expansion(tt in arb_tt(6), var in 0usize..6) {
+        // f = (!x & f0) | (x & f1)
+        let f0 = tt.cofactor(var, false);
+        let f1 = tt.cofactor(var, true);
+        let x = TruthTable::var(6, var);
+        let rebuilt = &(&!&x & &f0) | &(&x & &f1);
+        prop_assert_eq!(rebuilt, tt);
+    }
+
+    #[test]
+    fn cube_distance_is_metric(a in arb_cube(8), b in arb_cube(8), c in arb_cube(8)) {
+        prop_assert_eq!(a.distance(&a), 0);
+        prop_assert_eq!(a.distance(&b), b.distance(&a));
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c));
+    }
+
+    #[test]
+    fn cube_merge_distance_one_preserves_function(a in arb_cube(6), b in arb_cube(6)) {
+        if let Some(m) = a.merge_distance_one(&b) {
+            for x in 0..64u64 {
+                prop_assert_eq!(m.eval(x), a.eval(x) ^ b.eval(x));
+            }
+        }
+    }
+
+    #[test]
+    fn cube_exorlink2_preserves_function(a in arb_cube(6), b in arb_cube(6), which in 0usize..2) {
+        if let Some((a1, b1)) = a.exorlink2(&b, which) {
+            for x in 0..64u64 {
+                prop_assert_eq!(
+                    a1.eval(x) ^ b1.eval(x),
+                    a.eval(x) ^ b.eval(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn esop_reduce_preserves_function(tt in arb_tt(6)) {
+        let mut esop = Esop::from_truth_table(&tt);
+        esop.reduce();
+        prop_assert_eq!(esop.to_truth_table(), tt);
+    }
+
+    #[test]
+    fn npn_canonical_is_class_invariant(tt in any::<u16>(), flips in 0u8..16, perm_sel in 0usize..24, out in any::<bool>()) {
+        // Build a permutation from the selector.
+        let mut items = vec![0u8, 1, 2, 3];
+        let mut perm = [0u8; 4];
+        let mut sel = perm_sel;
+        for i in 0..4 {
+            let k = sel % items.len();
+            sel /= 4;
+            perm[i] = items.remove(k);
+        }
+        let t = qda_logic::npn::NpnTransform { perm, input_flips: flips, output_flip: out };
+        let variant = apply_transform(tt, &t);
+        prop_assert_eq!(npn_canonical(tt).0, npn_canonical(variant).0);
+    }
+}

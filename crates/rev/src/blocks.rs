@@ -1,0 +1,452 @@
+//! Hand-crafted reversible arithmetic building blocks.
+//!
+//! These are the components the paper's *manual* baseline designs are made
+//! of: the Cuccaro ripple-carry adder \[25\], controlled adders/subtractors,
+//! comparators and textbook shift-and-add multipliers. `qda-arith` uses
+//! them to assemble the RESDIV and QNEWTON baselines of Table I.
+//!
+//! All functions *append* gates to an existing [`Circuit`]; registers are
+//! slices of line indices, least-significant bit first. Every block keeps
+//! its ancillae clean (returns them to zero).
+
+use crate::circuit::Circuit;
+use crate::gate::{Control, Gate};
+
+/// Appends `b ← b + a (mod 2^n)` using the Cuccaro/CDKM ripple-carry adder.
+///
+/// * `a`, `b` — equal-width registers; `a` is preserved.
+/// * `ancilla` — one clean (zero) line, returned clean.
+/// * `carry_out` — optional line receiving `carry XOR`; must be clean to
+///   read the true carry.
+/// * `control` — optional extra control making the whole addition
+///   conditional (only gates writing into `b`/`carry_out` are controlled;
+///   the ripple scaffolding self-cancels when the control is off).
+///
+/// # Panics
+///
+/// Panics if the registers differ in width or are empty.
+///
+/// # Example
+///
+/// ```
+/// use qda_rev::blocks::cuccaro_add;
+/// use qda_rev::circuit::Circuit;
+/// use qda_rev::state::BitState;
+///
+/// let mut c = Circuit::new(9); // a:0..4, b:4..8, ancilla:8
+/// cuccaro_add(&mut c, &[0, 1, 2, 3], &[4, 5, 6, 7], 8, None, None);
+/// let mut s = BitState::zeros(9);
+/// s.write_register(&[0, 1, 2, 3], 5);
+/// s.write_register(&[4, 5, 6, 7], 9);
+/// c.apply(&mut s);
+/// assert_eq!(s.read_register(&[4, 5, 6, 7]), 14);
+/// ```
+pub fn cuccaro_add(
+    circuit: &mut Circuit,
+    a: &[usize],
+    b: &[usize],
+    ancilla: usize,
+    carry_out: Option<usize>,
+    control: Option<Control>,
+) {
+    assert_eq!(a.len(), b.len(), "register width mismatch");
+    assert!(!a.is_empty(), "empty registers");
+    let n = a.len();
+    // Gate helpers: `plain` gates self-cancel when the control is off,
+    // `ctl` gates write into the result and carry the extra control.
+    let ctl = |circuit: &mut Circuit, gate: Gate| match control {
+        Some(c) => circuit.add_gate(gate.with_control(c)),
+        None => circuit.add_gate(gate),
+    };
+    // Carry lines: c_0 = ancilla, c_i = a[i-1] for i >= 1.
+    let carry = |i: usize| if i == 0 { ancilla } else { a[i - 1] };
+    // MAJ sweep.
+    for i in 0..n {
+        ctl(circuit, Gate::cnot(a[i], b[i]));
+        circuit.cnot(a[i], carry(i));
+        circuit.toffoli(carry(i), b[i], a[i]);
+    }
+    if let Some(z) = carry_out {
+        ctl(circuit, Gate::cnot(a[n - 1], z));
+    }
+    // UMA sweep (reverse order).
+    for i in (0..n).rev() {
+        circuit.toffoli(carry(i), b[i], a[i]);
+        circuit.cnot(a[i], carry(i));
+        ctl(circuit, Gate::cnot(carry(i), b[i]));
+    }
+}
+
+/// Appends `b ← b − a (mod 2^n)` via the identity `b − a = ¬(¬b + a)`.
+///
+/// `borrow_out`, if given, receives `XOR` of the borrow flag
+/// (`1` iff `b < a` as unsigned integers).
+///
+/// The complementing X gates are unconditional — with `control` off they
+/// cancel pairwise, so the subtraction as a whole is conditional.
+///
+/// # Panics
+///
+/// Panics if the registers differ in width or are empty.
+pub fn cuccaro_sub(
+    circuit: &mut Circuit,
+    a: &[usize],
+    b: &[usize],
+    ancilla: usize,
+    borrow_out: Option<usize>,
+    control: Option<Control>,
+) {
+    for &line in b {
+        circuit.not(line);
+    }
+    // ¬b + a carries out exactly when b < a… check: ¬b + a = 2^n−1−b+a ≥ 2^n
+    // iff a ≥ b+1 iff b < a.
+    cuccaro_add(circuit, a, b, ancilla, borrow_out, control);
+    for &line in b {
+        circuit.not(line);
+    }
+}
+
+/// Appends gates computing `target ^= (b < a)` (unsigned), preserving `a`
+/// and `b`. Costs one subtraction + one addition.
+///
+/// # Panics
+///
+/// Panics if the registers differ in width or are empty.
+pub fn less_than(
+    circuit: &mut Circuit,
+    a: &[usize],
+    b: &[usize],
+    ancilla: usize,
+    target: usize,
+) {
+    cuccaro_sub(circuit, a, b, ancilla, Some(target), None);
+    cuccaro_add(circuit, a, b, ancilla, None, None);
+}
+
+/// Appends `out ← out + a·b` (textbook shift-and-add), preserving `a` and
+/// `b`.
+///
+/// Requirements: `out.len() >= a.len() + b.len()`, and the high
+/// `out[a.len()..]` lines above the current partial-sum width must be clean
+/// for carries to land correctly — which holds when `out` starts at zero
+/// (the usual case).
+///
+/// # Panics
+///
+/// Panics if `out` is narrower than `a.len() + b.len()`.
+pub fn multiply_add(
+    circuit: &mut Circuit,
+    a: &[usize],
+    b: &[usize],
+    out: &[usize],
+    ancilla: usize,
+) {
+    assert!(
+        out.len() >= a.len() + b.len(),
+        "product register too narrow: {} < {} + {}",
+        out.len(),
+        a.len(),
+        b.len()
+    );
+    let na = a.len();
+    for (i, &bi) in b.iter().enumerate() {
+        let window: Vec<usize> = out[i..i + na].to_vec();
+        cuccaro_add(
+            circuit,
+            a,
+            &window,
+            ancilla,
+            Some(out[i + na]),
+            Some(Control::positive(bi)),
+        );
+    }
+}
+
+/// Appends CNOTs copying register `src` into clean register `dst`
+/// (`dst ^= src`).
+///
+/// # Panics
+///
+/// Panics if the widths differ.
+pub fn copy_register(circuit: &mut Circuit, src: &[usize], dst: &[usize]) {
+    assert_eq!(src.len(), dst.len(), "register width mismatch");
+    for (&s, &d) in src.iter().zip(dst) {
+        circuit.cnot(s, d);
+    }
+}
+
+/// Appends X gates writing the classical constant `value` into a clean
+/// register.
+pub fn load_constant(circuit: &mut Circuit, dst: &[usize], value: u64) {
+    for (i, &d) in dst.iter().enumerate() {
+        if (value >> i) & 1 == 1 {
+            circuit.not(d);
+        }
+    }
+}
+
+/// Appends X gates writing an arbitrary-width constant (bits LSB first)
+/// into a clean register. Bits beyond `dst.len()` are ignored.
+pub fn load_constant_bits(circuit: &mut Circuit, dst: &[usize], bits: &[bool]) {
+    for (i, &d) in dst.iter().enumerate() {
+        if *bits.get(i).unwrap_or(&false) {
+            circuit.not(d);
+        }
+    }
+}
+
+/// Appends `b ← b + value (mod 2^n)` for a classical constant, using a
+/// scratch register that is loaded, added and unloaded.
+///
+/// `scratch` must be a clean register of the same width; it is returned
+/// clean.
+///
+/// # Panics
+///
+/// Panics if widths differ.
+pub fn add_constant(
+    circuit: &mut Circuit,
+    value: u64,
+    b: &[usize],
+    scratch: &[usize],
+    ancilla: usize,
+    control: Option<Control>,
+) {
+    assert_eq!(scratch.len(), b.len(), "register width mismatch");
+    load_constant(circuit, scratch, value);
+    cuccaro_add(circuit, scratch, b, ancilla, None, control);
+    load_constant(circuit, scratch, value);
+}
+
+/// Appends swaps realizing a cyclic left rotation of the register lines by
+/// `k` positions (value × 2^k mod (2^n − 1)-ish relabeling; used for the
+/// constant shifts of the Newton designs, where a *logical* shift is a pure
+/// relabeling and only a rotation needs gates).
+pub fn rotate_left(circuit: &mut Circuit, reg: &[usize], k: usize) {
+    let n = reg.len();
+    if n == 0 {
+        return;
+    }
+    let k = k % n;
+    if k == 0 {
+        return;
+    }
+    // Reversal trick: rotate = reverse(whole) after reversing both halves.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.rotate_left(n - k);
+    // Apply the permutation with swaps (cycle decomposition).
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut cycle = vec![start];
+        let mut cur = order[start];
+        while cur != start {
+            cycle.push(cur);
+            cur = order[cur];
+        }
+        for &c in &cycle {
+            visited[c] = true;
+        }
+        for w in cycle.windows(2) {
+            circuit.swap(reg[w[0]], reg[w[1]]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::BitState;
+
+    fn run(circuit: &Circuit, writes: &[(&[usize], u64)], read: &[usize]) -> u64 {
+        let mut s = BitState::zeros(circuit.num_lines());
+        for (reg, v) in writes {
+            s.write_register(reg, *v);
+        }
+        circuit.apply(&mut s);
+        s.read_register(read)
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        let a: Vec<usize> = (0..4).collect();
+        let b: Vec<usize> = (4..8).collect();
+        let mut c = Circuit::new(10);
+        cuccaro_add(&mut c, &a, &b, 8, Some(9), None);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut s = BitState::zeros(10);
+                s.write_register(&a, x);
+                s.write_register(&b, y);
+                c.apply(&mut s);
+                assert_eq!(s.read_register(&b), (x + y) & 15, "sum {x}+{y}");
+                assert_eq!(s.read_register(&a), x, "addend preserved");
+                assert!(!s.get(8), "ancilla clean");
+                assert_eq!(u64::from(s.get(9)), (x + y) >> 4, "carry {x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn adder_1bit_edge_case() {
+        let mut c = Circuit::new(4);
+        cuccaro_add(&mut c, &[0], &[1], 2, Some(3), None);
+        for x in 0..2u64 {
+            for y in 0..2u64 {
+                let mut s = BitState::zeros(4);
+                s.write_register(&[0], x);
+                s.write_register(&[1], y);
+                c.apply(&mut s);
+                assert_eq!(s.read_register(&[1]), (x + y) & 1);
+                assert_eq!(u64::from(s.get(3)), (x + y) >> 1);
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_adder_obeys_control() {
+        let a: Vec<usize> = (0..3).collect();
+        let b: Vec<usize> = (3..6).collect();
+        let mut c = Circuit::new(9);
+        cuccaro_add(&mut c, &a, &b, 6, Some(7), Some(Control::positive(8)));
+        for ctl in 0..2u64 {
+            for x in 0..8u64 {
+                for y in 0..8u64 {
+                    let mut s = BitState::zeros(9);
+                    s.write_register(&a, x);
+                    s.write_register(&b, y);
+                    s.set(8, ctl == 1);
+                    c.apply(&mut s);
+                    let expected = if ctl == 1 { (x + y) & 7 } else { y };
+                    assert_eq!(s.read_register(&b), expected, "ctl={ctl} {x}+{y}");
+                    assert_eq!(s.read_register(&a), x);
+                    assert!(!s.get(6), "ancilla clean");
+                    let exp_carry = if ctl == 1 { (x + y) >> 3 } else { 0 };
+                    assert_eq!(u64::from(s.get(7)), exp_carry);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_and_borrow() {
+        let a: Vec<usize> = (0..4).collect();
+        let b: Vec<usize> = (4..8).collect();
+        let mut c = Circuit::new(10);
+        cuccaro_sub(&mut c, &a, &b, 8, Some(9), None);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let mut s = BitState::zeros(10);
+                s.write_register(&a, x);
+                s.write_register(&b, y);
+                c.apply(&mut s);
+                assert_eq!(s.read_register(&b), y.wrapping_sub(x) & 15, "{y}-{x}");
+                assert_eq!(u64::from(s.get(9)), u64::from(y < x), "borrow {y}<{x}");
+                assert!(!s.get(8));
+            }
+        }
+    }
+
+    #[test]
+    fn controlled_subtractor() {
+        let a: Vec<usize> = (0..3).collect();
+        let b: Vec<usize> = (3..6).collect();
+        let mut c = Circuit::new(8);
+        cuccaro_sub(&mut c, &a, &b, 6, None, Some(Control::positive(7)));
+        for ctl in 0..2u64 {
+            for x in 0..8u64 {
+                for y in 0..8u64 {
+                    let mut s = BitState::zeros(8);
+                    s.write_register(&a, x);
+                    s.write_register(&b, y);
+                    s.set(7, ctl == 1);
+                    c.apply(&mut s);
+                    let expected = if ctl == 1 { y.wrapping_sub(x) & 7 } else { y };
+                    assert_eq!(s.read_register(&b), expected, "ctl={ctl} {y}-{x}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_preserves_operands() {
+        let a: Vec<usize> = (0..3).collect();
+        let b: Vec<usize> = (3..6).collect();
+        let mut c = Circuit::new(8);
+        less_than(&mut c, &a, &b, 6, 7);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut s = BitState::zeros(8);
+                s.write_register(&a, x);
+                s.write_register(&b, y);
+                c.apply(&mut s);
+                assert_eq!(u64::from(s.get(7)), u64::from(y < x), "{y} < {x}");
+                assert_eq!(s.read_register(&a), x);
+                assert_eq!(s.read_register(&b), y);
+                assert!(!s.get(6));
+            }
+        }
+    }
+
+    #[test]
+    fn multiplier_3x3() {
+        let a: Vec<usize> = (0..3).collect();
+        let b: Vec<usize> = (3..6).collect();
+        let out: Vec<usize> = (6..12).collect();
+        let mut c = Circuit::new(13);
+        multiply_add(&mut c, &a, &b, &out, 12);
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                let mut s = BitState::zeros(13);
+                s.write_register(&a, x);
+                s.write_register(&b, y);
+                c.apply(&mut s);
+                assert_eq!(s.read_register(&out), x * y, "{x}*{y}");
+                assert_eq!(s.read_register(&a), x);
+                assert_eq!(s.read_register(&b), y);
+                assert!(!s.get(12));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_addition() {
+        let b: Vec<usize> = (0..4).collect();
+        let scratch: Vec<usize> = (4..8).collect();
+        let mut c = Circuit::new(9);
+        add_constant(&mut c, 11, &b, &scratch, 8, None);
+        for y in 0..16u64 {
+            let mut s = BitState::zeros(9);
+            s.write_register(&b, y);
+            c.apply(&mut s);
+            assert_eq!(s.read_register(&b), (y + 11) & 15);
+            assert_eq!(s.read_register(&scratch), 0, "scratch clean");
+        }
+    }
+
+    #[test]
+    fn rotation_by_swaps() {
+        let reg: Vec<usize> = (0..5).collect();
+        let mut c = Circuit::new(5);
+        rotate_left(&mut c, &reg, 2);
+        for v in [0b00001u64, 0b10110, 0b11111, 0b01010] {
+            let mut s = BitState::zeros(5);
+            s.write_register(&reg, v);
+            c.apply(&mut s);
+            let expected = ((v << 2) | (v >> 3)) & 0b11111;
+            assert_eq!(s.read_register(&reg), expected, "rot {v:#07b}");
+        }
+    }
+
+    #[test]
+    fn copy_and_load() {
+        let mut c = Circuit::new(8);
+        load_constant(&mut c, &[0, 1, 2, 3], 0b1001);
+        copy_register(&mut c, &[0, 1, 2, 3], &[4, 5, 6, 7]);
+        let out = run(&c, &[], &[4, 5, 6, 7]);
+        assert_eq!(out, 0b1001);
+    }
+}

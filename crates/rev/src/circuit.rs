@@ -1,0 +1,315 @@
+//! Reversible circuits: cascades of MPMCT gates on a fixed set of lines.
+
+use crate::cost::CircuitCost;
+use crate::gate::{Control, Gate};
+use crate::state::BitState;
+use std::fmt;
+
+/// A reversible circuit: `num_lines` lines and a gate cascade.
+///
+/// # Example
+///
+/// ```
+/// use qda_rev::circuit::Circuit;
+///
+/// let mut swap = Circuit::new(2);
+/// swap.cnot(0, 1);
+/// swap.cnot(1, 0);
+/// swap.cnot(0, 1);
+/// assert_eq!(swap.simulate_u64(0b01), 0b10);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Circuit {
+    num_lines: usize,
+    gates: Vec<Gate>,
+}
+
+impl Circuit {
+    /// An empty circuit on `num_lines` lines.
+    pub fn new(num_lines: usize) -> Self {
+        Self {
+            num_lines,
+            gates: Vec::new(),
+        }
+    }
+
+    /// Number of lines (qubits).
+    pub fn num_lines(&self) -> usize {
+        self.num_lines
+    }
+
+    /// Number of gates.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate cascade in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Grows the circuit to at least `num_lines` lines.
+    pub fn ensure_lines(&mut self, num_lines: usize) {
+        self.num_lines = self.num_lines.max(num_lines);
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a line outside the circuit.
+    pub fn add_gate(&mut self, gate: Gate) {
+        assert!(
+            gate.max_line() < self.num_lines,
+            "gate {gate} exceeds {} lines",
+            self.num_lines
+        );
+        self.gates.push(gate);
+    }
+
+    /// Appends a NOT gate.
+    pub fn not(&mut self, target: usize) {
+        self.add_gate(Gate::not(target));
+    }
+
+    /// Appends a CNOT gate.
+    pub fn cnot(&mut self, control: usize, target: usize) {
+        self.add_gate(Gate::cnot(control, target));
+    }
+
+    /// Appends a Toffoli gate (two positive controls).
+    pub fn toffoli(&mut self, c1: usize, c2: usize, target: usize) {
+        self.add_gate(Gate::toffoli(c1, c2, target));
+    }
+
+    /// Appends a general MPMCT gate.
+    pub fn mct(&mut self, controls: Vec<Control>, target: usize) {
+        self.add_gate(Gate::mct(controls, target));
+    }
+
+    /// Appends a SWAP of two lines (three CNOTs).
+    pub fn swap(&mut self, a: usize, b: usize) {
+        self.cnot(a, b);
+        self.cnot(b, a);
+        self.cnot(a, b);
+    }
+
+    /// Appends every gate of `other` (same line space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` uses more lines than `self`.
+    pub fn extend_from(&mut self, other: &Circuit) {
+        assert!(other.num_lines <= self.num_lines, "line-space mismatch");
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// Appends `other` with its line `i` mapped onto `map[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is too short or maps outside this circuit.
+    pub fn extend_remapped(&mut self, other: &Circuit, map: &[usize]) {
+        assert!(map.len() >= other.num_lines, "map too short");
+        for g in &other.gates {
+            self.add_gate(g.remapped(map));
+        }
+    }
+
+    /// The inverse circuit. MPMCT gates are self-inverse, so this is just
+    /// the reversed cascade.
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            num_lines: self.num_lines,
+            gates: self.gates.iter().rev().cloned().collect(),
+        }
+    }
+
+    /// Simulates the circuit on a state (in place).
+    pub fn apply(&self, state: &mut BitState) {
+        for g in &self.gates {
+            state.apply(g);
+        }
+    }
+
+    /// Simulates on a ≤64-line input word, returning the output word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 64 lines.
+    pub fn simulate_u64(&self, input: u64) -> u64 {
+        assert!(self.num_lines <= 64, "too many lines for u64 simulation");
+        self.gates.iter().fold(input, |s, g| g.apply_u64(s))
+    }
+
+    /// The permutation the circuit realizes over all `2^n` basis states
+    /// (`n ≤ 24` sensible).
+    pub fn permutation(&self) -> Vec<u64> {
+        (0..(1u64 << self.num_lines))
+            .map(|x| self.simulate_u64(x))
+            .collect()
+    }
+
+    /// Cost summary.
+    pub fn cost(&self) -> CircuitCost {
+        CircuitCost::of(self)
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit on {} lines:", self.num_lines)?;
+        for g in &self.gates {
+            writeln!(f, "  {g}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Allocates and recycles ancilla lines, tracking the high-water mark.
+///
+/// Synthesis back-ends that clean up intermediate results (the REVS
+/// strategies of the paper) release lines back to the allocator so later
+/// computations can reuse them; the final qubit count is the high-water
+/// mark, not the total allocation count.
+///
+/// # Example
+///
+/// ```
+/// use qda_rev::circuit::LineAllocator;
+///
+/// let mut alloc = LineAllocator::new(3); // lines 0..3 pre-assigned
+/// let a = alloc.alloc();
+/// let b = alloc.alloc();
+/// alloc.release(a);
+/// let c = alloc.alloc(); // reuses a
+/// assert_eq!(c, a);
+/// assert_eq!(alloc.high_water(), 5);
+/// # let _ = b;
+/// ```
+#[derive(Clone, Debug)]
+pub struct LineAllocator {
+    next: usize,
+    high_water: usize,
+    free: Vec<usize>,
+}
+
+impl LineAllocator {
+    /// Creates an allocator whose first fresh line is `reserved`.
+    pub fn new(reserved: usize) -> Self {
+        Self {
+            next: reserved,
+            high_water: reserved,
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates a zero-initialized line (callers must return lines to the
+    /// free list only when they are restored to zero).
+    pub fn alloc(&mut self) -> usize {
+        if let Some(l) = self.free.pop() {
+            return l;
+        }
+        let l = self.next;
+        self.next += 1;
+        self.high_water = self.high_water.max(self.next);
+        l
+    }
+
+    /// Allocates `k` lines.
+    pub fn alloc_many(&mut self, k: usize) -> Vec<usize> {
+        (0..k).map(|_| self.alloc()).collect()
+    }
+
+    /// Returns a clean (zero) line to the pool.
+    pub fn release(&mut self, line: usize) {
+        debug_assert!(!self.free.contains(&line), "double release of {line}");
+        self.free.push(line);
+    }
+
+    /// Returns many lines to the pool.
+    pub fn release_many<I: IntoIterator<Item = usize>>(&mut self, lines: I) {
+        for l in lines {
+            self.release(l);
+        }
+    }
+
+    /// Highest number of simultaneously live lines seen so far.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_is_reversible() {
+        let mut c = Circuit::new(4);
+        c.not(0);
+        c.cnot(0, 1);
+        c.toffoli(1, 2, 3);
+        c.swap(0, 3);
+        let inv = c.inverse();
+        for x in 0..16u64 {
+            assert_eq!(inv.simulate_u64(c.simulate_u64(x)), x);
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijective() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        c.cnot(2, 0);
+        c.not(1);
+        let perm = c.permutation();
+        let mut seen = vec![false; 8];
+        for &y in &perm {
+            assert!(!seen[y as usize], "not a permutation");
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn extend_remapped_relocates_gates() {
+        let mut inner = Circuit::new(2);
+        inner.cnot(0, 1);
+        let mut outer = Circuit::new(5);
+        outer.extend_remapped(&inner, &[4, 2]);
+        assert_eq!(outer.gates()[0].target(), 2);
+        assert_eq!(outer.gates()[0].controls()[0].line(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn rejects_out_of_range_gates() {
+        let mut c = Circuit::new(2);
+        c.toffoli(0, 1, 2);
+    }
+
+    #[test]
+    fn wide_simulation_matches_narrow() {
+        let mut c = Circuit::new(8);
+        c.not(7);
+        c.toffoli(7, 0, 3);
+        let mut s = BitState::from_u64(8, 0b0000_0001);
+        c.apply(&mut s);
+        assert_eq!(s.to_u64(), c.simulate_u64(0b0000_0001));
+    }
+
+    #[test]
+    fn allocator_reuse_and_high_water() {
+        let mut a = LineAllocator::new(2);
+        let x = a.alloc();
+        let y = a.alloc();
+        assert_eq!((x, y), (2, 3));
+        a.release(x);
+        assert_eq!(a.alloc(), 2);
+        assert_eq!(a.high_water(), 4);
+        let more = a.alloc_many(3);
+        assert_eq!(more.len(), 3);
+        assert_eq!(a.high_water(), 7);
+    }
+}

@@ -1,0 +1,289 @@
+//! Functional verification of synthesized reversible circuits.
+//!
+//! Mirrors the paper's methodology ("correctness of the synthesized designs
+//! has been verified using ABC's combinational equivalence checker `cec`"):
+//! every circuit coming out of a synthesis flow is replayed against the
+//! golden model, exhaustively when the input space is small and with
+//! randomized sampling otherwise.
+
+use crate::circuit::Circuit;
+use crate::state::BitState;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// What to check and how hard to try.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyOptions {
+    /// Exhaustive enumeration is used when the number of input lines is at
+    /// most this.
+    pub exhaustive_limit: usize,
+    /// Number of random input samples when exhaustive checking is off.
+    pub random_samples: u64,
+    /// Additionally require every line that is neither an input nor an
+    /// output to end at zero (clean ancillae, as Bennett-style circuits
+    /// guarantee).
+    pub check_ancilla_clean: bool,
+    /// Additionally require input lines (that are not also output lines)
+    /// to be preserved.
+    pub check_inputs_preserved: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self {
+            exhaustive_limit: 12,
+            random_samples: 512,
+            check_ancilla_clean: false,
+            check_inputs_preserved: false,
+        }
+    }
+}
+
+/// Result of a verification run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VerifyOutcome {
+    /// Exhaustively proven correct.
+    Verified,
+    /// All random samples agreed.
+    ProbablyCorrect {
+        /// Number of inputs tested.
+        samples: u64,
+    },
+    /// The circuit output disagrees with the oracle.
+    Mismatch {
+        /// Failing input value.
+        input: u64,
+        /// Oracle output.
+        expected: u64,
+        /// Circuit output.
+        actual: u64,
+    },
+    /// An ancilla or preserved-input line ended in the wrong state.
+    DirtyLine {
+        /// Failing input value.
+        input: u64,
+        /// Offending line.
+        line: usize,
+    },
+    /// Verification was skipped (interface wider than the 64-bit
+    /// harness supports; e.g. the paper's n = 128 instance).
+    Skipped,
+}
+
+impl VerifyOutcome {
+    /// Whether no problem was found.
+    pub fn is_ok(&self) -> bool {
+        matches!(
+            self,
+            VerifyOutcome::Verified
+                | VerifyOutcome::ProbablyCorrect { .. }
+                | VerifyOutcome::Skipped
+        )
+    }
+}
+
+/// Checks that `circuit` computes `oracle` when `input_lines` carry the
+/// input bits (all other lines start at zero) and `output_lines` carry the
+/// result afterwards.
+///
+/// `input_lines` and `output_lines` may overlap (in-place circuits).
+///
+/// # Panics
+///
+/// Panics if more than 64 input or output lines are given.
+pub fn verify_computes<F: Fn(u64) -> u64>(
+    circuit: &Circuit,
+    input_lines: &[usize],
+    output_lines: &[usize],
+    oracle: F,
+    options: &VerifyOptions,
+) -> VerifyOutcome {
+    assert!(input_lines.len() <= 64 && output_lines.len() <= 64);
+    let n = input_lines.len();
+    let run = |x: u64| -> VerifyOutcome {
+        let mut state = BitState::zeros(circuit.num_lines());
+        state.write_register(input_lines, x);
+        circuit.apply(&mut state);
+        let actual = state.read_register(output_lines);
+        let expected = oracle(x);
+        if actual != expected {
+            return VerifyOutcome::Mismatch {
+                input: x,
+                expected,
+                actual,
+            };
+        }
+        if options.check_ancilla_clean || options.check_inputs_preserved {
+            for line in 0..circuit.num_lines() {
+                let is_input = input_lines.contains(&line);
+                let is_output = output_lines.contains(&line);
+                if is_output {
+                    continue;
+                }
+                if is_input {
+                    if options.check_inputs_preserved {
+                        let idx = input_lines.iter().position(|&l| l == line).expect("input");
+                        if state.get(line) != ((x >> idx) & 1 == 1) {
+                            return VerifyOutcome::DirtyLine { input: x, line };
+                        }
+                    }
+                } else if options.check_ancilla_clean && state.get(line) {
+                    return VerifyOutcome::DirtyLine { input: x, line };
+                }
+            }
+        }
+        VerifyOutcome::Verified
+    };
+    if n <= options.exhaustive_limit {
+        for x in 0..(1u64 << n) {
+            let r = run(x);
+            if !r.is_ok() {
+                return r;
+            }
+        }
+        VerifyOutcome::Verified
+    } else {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+        for _ in 0..options.random_samples {
+            let x: u64 = rng.gen::<u64>() & mask;
+            let r = run(x);
+            if !r.is_ok() {
+                return r;
+            }
+        }
+        VerifyOutcome::ProbablyCorrect {
+            samples: options.random_samples,
+        }
+    }
+}
+
+/// Checks that a circuit realizes a given permutation over **all** its
+/// lines (used by transformation-based synthesis, whose specification is a
+/// reversible function on the full line space).
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 24 lines (exhaustive only).
+pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> VerifyOutcome {
+    assert!(circuit.num_lines() <= 24, "too many lines for exhaustive check");
+    assert_eq!(perm.len() as u64, 1u64 << circuit.num_lines());
+    for (x, &expected) in perm.iter().enumerate() {
+        let actual = circuit.simulate_u64(x as u64);
+        if actual != expected {
+            return VerifyOutcome::Mismatch {
+                input: x as u64,
+                expected,
+                actual,
+            };
+        }
+    }
+    VerifyOutcome::Verified
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bennett-style XOR: out ^= a ^ b on 3 lines.
+    fn xor_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        c.cnot(1, 2);
+        c
+    }
+
+    #[test]
+    fn verifies_correct_circuit() {
+        let c = xor_circuit();
+        let out = verify_computes(
+            &c,
+            &[0, 1],
+            &[2],
+            |x| (x & 1) ^ ((x >> 1) & 1),
+            &VerifyOptions {
+                check_ancilla_clean: true,
+                check_inputs_preserved: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out, VerifyOutcome::Verified);
+    }
+
+    #[test]
+    fn detects_functional_mismatch() {
+        let c = xor_circuit();
+        let out = verify_computes(&c, &[0, 1], &[2], |x| x & 1, &VerifyOptions::default());
+        assert!(matches!(out, VerifyOutcome::Mismatch { .. }));
+    }
+
+    #[test]
+    fn detects_dirty_ancilla() {
+        let mut c = Circuit::new(4);
+        c.cnot(0, 2);
+        c.cnot(0, 3); // scribbles on line 3 and never cleans it
+        let out = verify_computes(
+            &c,
+            &[0, 1],
+            &[2],
+            |x| x & 1,
+            &VerifyOptions {
+                check_ancilla_clean: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(out, VerifyOutcome::DirtyLine { line: 3, .. }));
+    }
+
+    #[test]
+    fn detects_clobbered_inputs() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        c.not(1); // destroys input line 1
+        let out = verify_computes(
+            &c,
+            &[0, 1],
+            &[2],
+            |x| x & 1,
+            &VerifyOptions {
+                check_inputs_preserved: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(out, VerifyOutcome::DirtyLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn randomized_path_for_wide_inputs() {
+        // 16-input parity, checked with sampling (limit forced low).
+        let mut c = Circuit::new(17);
+        for i in 0..16 {
+            c.cnot(i, 16);
+        }
+        let inputs: Vec<usize> = (0..16).collect();
+        let out = verify_computes(
+            &c,
+            &inputs,
+            &[16],
+            |x| (x.count_ones() % 2) as u64,
+            &VerifyOptions {
+                exhaustive_limit: 8,
+                random_samples: 64,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out, VerifyOutcome::ProbablyCorrect { samples: 64 });
+    }
+
+    #[test]
+    fn permutation_check() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        let perm: Vec<u64> = vec![0b00, 0b11, 0b10, 0b01];
+        assert_eq!(verify_permutation(&c, &perm), VerifyOutcome::Verified);
+        let wrong: Vec<u64> = vec![0, 1, 2, 3];
+        assert!(matches!(
+            verify_permutation(&c, &wrong),
+            VerifyOutcome::Mismatch { .. }
+        ));
+    }
+}

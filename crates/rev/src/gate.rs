@@ -1,0 +1,279 @@
+//! Mixed-polarity multiple-controlled Toffoli gates.
+
+use std::fmt;
+
+/// A single control of an MPMCT gate: a line index plus a polarity.
+///
+/// A positive control triggers on `1`, a negative control on `0` (the
+/// "mixed polarity" of the paper's gate library — negative controls are
+/// free at the T-count level because they are mere X conjugations).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Control {
+    line: u32,
+    positive: bool,
+}
+
+impl Control {
+    /// A positive control on `line`.
+    pub fn positive(line: usize) -> Self {
+        Self {
+            line: line as u32,
+            positive: true,
+        }
+    }
+
+    /// A negative control on `line`.
+    pub fn negative(line: usize) -> Self {
+        Self {
+            line: line as u32,
+            positive: false,
+        }
+    }
+
+    /// The controlled line.
+    pub fn line(self) -> usize {
+        self.line as usize
+    }
+
+    /// Whether the control triggers on `1`.
+    pub fn is_positive(self) -> bool {
+        self.positive
+    }
+}
+
+/// A mixed-polarity multiple-controlled Toffoli (MPMCT) gate.
+///
+/// The gate inverts `target` iff every positive control reads `1` and every
+/// negative control reads `0`. With zero controls it is a NOT, with one a
+/// CNOT, with two a Toffoli.
+///
+/// # Example
+///
+/// ```
+/// use qda_rev::gate::{Control, Gate};
+///
+/// let g = Gate::mct(vec![Control::positive(0), Control::negative(2)], 1);
+/// assert_eq!(g.num_controls(), 2);
+/// assert!(g.fires(0b001)); // line0=1, line2=0
+/// assert!(!g.fires(0b101));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Gate {
+    controls: Vec<Control>,
+    target: u32,
+}
+
+impl Gate {
+    /// A NOT gate on `target`.
+    pub fn not(target: usize) -> Self {
+        Self::mct(Vec::new(), target)
+    }
+
+    /// A CNOT with positive control `control`.
+    pub fn cnot(control: usize, target: usize) -> Self {
+        Self::mct(vec![Control::positive(control)], target)
+    }
+
+    /// A Toffoli with two positive controls.
+    pub fn toffoli(c1: usize, c2: usize, target: usize) -> Self {
+        Self::mct(vec![Control::positive(c1), Control::positive(c2)], target)
+    }
+
+    /// A general MPMCT gate.
+    ///
+    /// Controls are sorted and deduplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target appears among the controls, or if two controls
+    /// on the same line have opposite polarity (the gate would never fire —
+    /// reject it early as a construction bug).
+    pub fn mct(mut controls: Vec<Control>, target: usize) -> Self {
+        controls.sort_unstable();
+        controls.dedup();
+        for w in controls.windows(2) {
+            assert!(
+                w[0].line != w[1].line,
+                "contradictory controls on line {}",
+                w[0].line
+            );
+        }
+        assert!(
+            controls.iter().all(|c| c.line() != target),
+            "target {target} cannot be controlled"
+        );
+        Self {
+            controls,
+            target: target as u32,
+        }
+    }
+
+    /// The controls, sorted by line.
+    pub fn controls(&self) -> &[Control] {
+        &self.controls
+    }
+
+    /// The target line.
+    pub fn target(&self) -> usize {
+        self.target as usize
+    }
+
+    /// Number of controls.
+    pub fn num_controls(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Whether the gate fires on a ≤64-line assignment word.
+    pub fn fires(&self, state: u64) -> bool {
+        self.controls
+            .iter()
+            .all(|c| ((state >> c.line) & 1 == 1) == c.positive)
+    }
+
+    /// Applies the gate to a ≤64-line assignment word.
+    pub fn apply_u64(&self, state: u64) -> u64 {
+        if self.fires(state) {
+            state ^ (1 << self.target)
+        } else {
+            state
+        }
+    }
+
+    /// Returns a copy with every line shifted by `offset` (for circuit
+    /// composition).
+    #[must_use]
+    pub fn shifted(&self, offset: usize) -> Gate {
+        Gate {
+            controls: self
+                .controls
+                .iter()
+                .map(|c| Control {
+                    line: c.line + offset as u32,
+                    positive: c.positive,
+                })
+                .collect(),
+            target: self.target + offset as u32,
+        }
+    }
+
+    /// Returns a copy with lines remapped through `map` (`map[old] = new`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced line is missing from the map.
+    #[must_use]
+    pub fn remapped(&self, map: &[usize]) -> Gate {
+        Gate {
+            controls: self
+                .controls
+                .iter()
+                .map(|c| Control {
+                    line: map[c.line()] as u32,
+                    positive: c.positive,
+                })
+                .collect(),
+            target: map[self.target()] as u32,
+        }
+    }
+
+    /// Returns a copy with one extra control added.
+    ///
+    /// # Panics
+    ///
+    /// Panics on contradictions (same line, mixed polarity, or control on
+    /// the target).
+    #[must_use]
+    pub fn with_control(&self, extra: Control) -> Gate {
+        let mut controls = self.controls.clone();
+        controls.push(extra);
+        Gate::mct(controls, self.target())
+    }
+
+    /// Largest line index referenced by the gate.
+    pub fn max_line(&self) -> usize {
+        self.controls
+            .iter()
+            .map(|c| c.line())
+            .chain(std::iter::once(self.target()))
+            .max()
+            .expect("gate always has a target")
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T(")?;
+        for (i, c) in self.controls.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}{}", if c.is_positive() { "" } else { "!" }, c.line())?;
+        }
+        write!(f, ";{})", self.target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn not_cnot_toffoli_shortcuts() {
+        assert_eq!(Gate::not(3).num_controls(), 0);
+        assert_eq!(Gate::cnot(0, 1).num_controls(), 1);
+        assert_eq!(Gate::toffoli(0, 1, 2).num_controls(), 2);
+    }
+
+    #[test]
+    fn mixed_polarity_fire_conditions() {
+        let g = Gate::mct(vec![Control::positive(0), Control::negative(1)], 2);
+        assert_eq!(g.apply_u64(0b001), 0b101);
+        assert_eq!(g.apply_u64(0b011), 0b011);
+        assert_eq!(g.apply_u64(0b000), 0b000);
+    }
+
+    #[test]
+    fn self_inverse() {
+        let g = Gate::mct(vec![Control::positive(1), Control::negative(3)], 0);
+        for s in 0..16u64 {
+            assert_eq!(g.apply_u64(g.apply_u64(s)), s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target")]
+    fn rejects_control_on_target() {
+        let _ = Gate::mct(vec![Control::positive(0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory")]
+    fn rejects_contradictory_controls() {
+        let _ = Gate::mct(vec![Control::positive(0), Control::negative(0)], 1);
+    }
+
+    #[test]
+    fn shifting_and_remapping() {
+        let g = Gate::toffoli(0, 1, 2);
+        let s = g.shifted(10);
+        assert_eq!(s.target(), 12);
+        assert_eq!(s.controls()[0].line(), 10);
+        let r = g.remapped(&[5, 4, 3]);
+        assert_eq!(r.target(), 3);
+        assert_eq!(r.max_line(), 5);
+    }
+
+    #[test]
+    fn with_control_extends() {
+        let g = Gate::cnot(0, 1).with_control(Control::negative(2));
+        assert_eq!(g.num_controls(), 2);
+        assert!(g.fires(0b001));
+        assert!(!g.fires(0b101));
+    }
+
+    #[test]
+    fn display_format() {
+        let g = Gate::mct(vec![Control::positive(0), Control::negative(2)], 1);
+        assert_eq!(g.to_string(), "T(0,!2;1)");
+    }
+}

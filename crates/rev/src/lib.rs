@@ -1,0 +1,38 @@
+//! Reversible circuits over the mixed-polarity multiple-controlled Toffoli
+//! (MPMCT) gate library, plus the quantum-cost machinery of the paper.
+//!
+//! Provides:
+//!
+//! * [`gate::Gate`] / [`circuit::Circuit`] — the reversible-circuit IR all
+//!   synthesis back-ends emit,
+//! * [`cost`] — T-count and qubit accounting (the paper's two cost axes),
+//! * [`state`] / [`equiv`] — bit-exact simulation and equivalence checking
+//!   (the role ABC `cec` plays in the paper),
+//! * [`blocks`] — hand-crafted reversible arithmetic (Cuccaro ripple-carry
+//!   adder, controlled adders, comparators, shift-and-add multipliers) used
+//!   by the manual RESDIV/QNEWTON baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use qda_rev::circuit::Circuit;
+//!
+//! let mut c = Circuit::new(3);
+//! c.toffoli(0, 1, 2);
+//! c.cnot(0, 1);
+//! assert_eq!(c.simulate_u64(0b011), 0b101); // target flips, then b ^= a
+//! ```
+
+pub mod blocks;
+pub mod circuit;
+pub mod cost;
+pub mod decompose;
+pub mod equiv;
+pub mod gate;
+pub mod io;
+pub mod state;
+
+pub use circuit::{Circuit, LineAllocator};
+pub use cost::CircuitCost;
+pub use gate::{Control, Gate};
+pub use state::BitState;

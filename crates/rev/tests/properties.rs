@@ -1,0 +1,111 @@
+//! Property-based tests: reversible circuits are permutations, inverses
+//! compose to identity, and the arithmetic blocks implement arithmetic.
+
+use proptest::prelude::*;
+use qda_rev::blocks::{cuccaro_add, cuccaro_sub, multiply_add};
+use qda_rev::circuit::Circuit;
+use qda_rev::gate::{Control, Gate};
+use qda_rev::state::BitState;
+
+/// A random but valid gate on `lines` lines.
+fn arb_gate(lines: usize) -> impl Strategy<Value = Gate> {
+    (0..lines, any::<u64>(), any::<u64>()).prop_map(move |(target, cmask, pmask)| {
+        let controls: Vec<Control> = (0..lines)
+            .filter(|&l| l != target && (cmask >> l) & 1 == 1)
+            .map(|l| {
+                if (pmask >> l) & 1 == 1 {
+                    Control::positive(l)
+                } else {
+                    Control::negative(l)
+                }
+            })
+            .collect();
+        Gate::mct(controls, target)
+    })
+}
+
+fn arb_circuit(lines: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(lines), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(lines);
+        for g in gates {
+            c.add_gate(g);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn circuits_realize_permutations(c in arb_circuit(6, 24)) {
+        let perm = c.permutation();
+        let mut seen = vec![false; perm.len()];
+        for &y in &perm {
+            prop_assert!(!seen[y as usize]);
+            seen[y as usize] = true;
+        }
+    }
+
+    #[test]
+    fn inverse_composes_to_identity(c in arb_circuit(6, 24), x in 0u64..64) {
+        let inv = c.inverse();
+        prop_assert_eq!(inv.simulate_u64(c.simulate_u64(x)), x);
+        prop_assert_eq!(c.simulate_u64(inv.simulate_u64(x)), x);
+    }
+
+    #[test]
+    fn wide_and_narrow_simulation_agree(c in arb_circuit(6, 24), x in 0u64..64) {
+        let mut s = BitState::from_u64(6, x);
+        c.apply(&mut s);
+        prop_assert_eq!(s.to_u64(), c.simulate_u64(x));
+    }
+
+    #[test]
+    fn adder_adds(a_val in 0u64..256, b_val in 0u64..256, ctl in any::<bool>()) {
+        let a: Vec<usize> = (0..8).collect();
+        let b: Vec<usize> = (8..16).collect();
+        let mut c = Circuit::new(19);
+        let control = ctl.then(|| Control::positive(18));
+        cuccaro_add(&mut c, &a, &b, 16, Some(17), control);
+        let mut s = BitState::zeros(19);
+        s.write_register(&a, a_val);
+        s.write_register(&b, b_val);
+        s.set(18, ctl);
+        c.apply(&mut s);
+        let expected = if ctl || control.is_none() { (a_val + b_val) & 255 } else { b_val };
+        prop_assert_eq!(s.read_register(&b), expected);
+        prop_assert_eq!(s.read_register(&a), a_val);
+        prop_assert!(!s.get(16), "ancilla clean");
+    }
+
+    #[test]
+    fn subtractor_is_adder_inverse(a_val in 0u64..64, b_val in 0u64..64) {
+        let a: Vec<usize> = (0..6).collect();
+        let b: Vec<usize> = (6..12).collect();
+        let mut add = Circuit::new(13);
+        cuccaro_add(&mut add, &a, &b, 12, None, None);
+        let mut sub = Circuit::new(13);
+        cuccaro_sub(&mut sub, &a, &b, 12, None, None);
+        let mut s = BitState::zeros(13);
+        s.write_register(&a, a_val);
+        s.write_register(&b, b_val);
+        add.apply(&mut s);
+        sub.apply(&mut s);
+        prop_assert_eq!(s.read_register(&b), b_val);
+    }
+
+    #[test]
+    fn multiplier_multiplies(a_val in 0u64..32, b_val in 0u64..32) {
+        let a: Vec<usize> = (0..5).collect();
+        let b: Vec<usize> = (5..10).collect();
+        let out: Vec<usize> = (10..20).collect();
+        let mut c = Circuit::new(21);
+        multiply_add(&mut c, &a, &b, &out, 20);
+        let mut s = BitState::zeros(21);
+        s.write_register(&a, a_val);
+        s.write_register(&b, b_val);
+        c.apply(&mut s);
+        prop_assert_eq!(s.read_register(&out), a_val * b_val);
+        prop_assert_eq!(s.read_register(&a), a_val);
+        prop_assert_eq!(s.read_register(&b), b_val);
+    }
+}

@@ -1,0 +1,24 @@
+//! Reversible logic synthesis — the reversible-synthesis level of the
+//! paper's design flows (§IV).
+//!
+//! Three back-ends, each targeting a different cost corner:
+//!
+//! * [`tbs`] — transformation-based synthesis after an optimum
+//!   [`embed`]ding: minimum qubits, very large T-count (Toffoli gates with
+//!   many controls), exponential runtime;
+//! * [`esop`] — ESOP-based synthesis (REVS): one Toffoli per product term
+//!   on `n+m` lines, with a factoring parameter `p` trading extra ancilla
+//!   lines for fewer T gates;
+//! * [`hierarchical`] — XMG-driven structural synthesis: one ancilla per
+//!   gate (Bennett cleanup or eager cleanup), lowest T-count, most qubits,
+//!   scales to hundreds of input bits.
+
+pub mod embed;
+pub mod esop;
+pub mod hierarchical;
+pub mod tbs;
+
+pub use embed::{bennett_embedding, minimum_additional_lines, optimum_embedding, Embedding};
+pub use esop::{synthesize_esop, EsopSynthOptions};
+pub use hierarchical::{synthesize_xmg, CleanupStrategy, HierarchicalOptions};
+pub use tbs::{transformation_based_synthesis, TbsDirection};

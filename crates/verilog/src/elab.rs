@@ -1,0 +1,373 @@
+//! Elaboration: parsed [`Module`] → bit-blasted [`Aig`].
+//!
+//! Signals become `Vec<Lit>` words (LSB first). Inputs are mapped onto AIG
+//! primary inputs in port order, LSB first; outputs onto primary outputs
+//! the same way. Assignments are evaluated in dependency order (wires may
+//! be declared and assigned in any textual order, but combinational cycles
+//! are rejected).
+
+use crate::ast::{Assign, BinOp, Expr, Module, SignalKind, UnOp};
+use crate::words;
+use crate::VerilogError;
+use qda_logic::aig::{Aig, Lit};
+use std::collections::{HashMap, HashSet};
+
+/// Elaborates a module into an AIG.
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Elaborate`] on undeclared/unassigned signals,
+/// multiple drivers, combinational cycles, out-of-range selects, or a
+/// division that cannot be bit-blasted.
+pub fn elaborate(module: &Module) -> Result<Aig, VerilogError> {
+    // Map input bits onto PIs in port order.
+    let inputs = module.inputs();
+    let outputs = module.outputs();
+    let num_pis: usize = inputs.iter().map(|s| s.width()).sum();
+    let mut aig = Aig::new(num_pis);
+    let mut env: HashMap<String, Vec<Lit>> = HashMap::new();
+    let mut next_pi = 0;
+    for sig in &inputs {
+        let word: Vec<Lit> = (0..sig.width()).map(|k| aig.pi(next_pi + k)).collect();
+        next_pi += sig.width();
+        env.insert(sig.name.clone(), word);
+    }
+
+    // One driver per signal.
+    let mut by_target: HashMap<&str, &Assign> = HashMap::new();
+    for a in &module.assigns {
+        let sig = module
+            .signal(&a.target)
+            .ok_or_else(|| VerilogError::elaborate(format!("assign to undeclared {}", a.target)))?;
+        if sig.kind == SignalKind::Input {
+            return Err(VerilogError::elaborate(format!(
+                "assign to input {}",
+                a.target
+            )));
+        }
+        if by_target.insert(&a.target, a).is_some() {
+            return Err(VerilogError::elaborate(format!(
+                "multiple drivers for {}",
+                a.target
+            )));
+        }
+    }
+
+    // Evaluate assignments on demand with cycle detection.
+    fn eval_signal<'m>(
+        name: &str,
+        module: &'m Module,
+        by_target: &HashMap<&str, &'m Assign>,
+        aig: &mut Aig,
+        env: &mut HashMap<String, Vec<Lit>>,
+        visiting: &mut HashSet<String>,
+    ) -> Result<Vec<Lit>, VerilogError> {
+        if let Some(w) = env.get(name) {
+            return Ok(w.clone());
+        }
+        let sig = module
+            .signal(name)
+            .ok_or_else(|| VerilogError::elaborate(format!("undeclared signal {name}")))?;
+        let assign = by_target
+            .get(name)
+            .ok_or_else(|| VerilogError::elaborate(format!("no driver for {name}")))?;
+        if !visiting.insert(name.to_string()) {
+            return Err(VerilogError::elaborate(format!(
+                "combinational cycle through {name}"
+            )));
+        }
+        let word = eval_expr(&assign.expr, module, by_target, aig, env, visiting)?;
+        visiting.remove(name);
+        // Resize to the declared width (Verilog truncates/zero-extends).
+        let word = words::resize(&word, sig.width());
+        env.insert(name.to_string(), word.clone());
+        Ok(word)
+    }
+
+    fn eval_expr<'m>(
+        expr: &Expr,
+        module: &'m Module,
+        by_target: &HashMap<&str, &'m Assign>,
+        aig: &mut Aig,
+        env: &mut HashMap<String, Vec<Lit>>,
+        visiting: &mut HashSet<String>,
+    ) -> Result<Vec<Lit>, VerilogError> {
+        match expr {
+            Expr::Ident(name) => eval_signal(name, module, by_target, aig, env, visiting),
+            Expr::Literal { bits, .. } => Ok(words::constant(bits.len().max(1), bits)),
+            Expr::Index(inner, i) => {
+                let w = eval_expr(inner, module, by_target, aig, env, visiting)?;
+                let bit = w.get(*i).copied().ok_or_else(|| {
+                    VerilogError::elaborate(format!("bit select [{i}] out of range"))
+                })?;
+                Ok(vec![bit])
+            }
+            Expr::Range(inner, msb, lsb) => {
+                let w = eval_expr(inner, module, by_target, aig, env, visiting)?;
+                if *msb >= w.len() {
+                    return Err(VerilogError::elaborate(format!(
+                        "part select [{msb}:{lsb}] out of range (width {})",
+                        w.len()
+                    )));
+                }
+                Ok(w[*lsb..=*msb].to_vec())
+            }
+            Expr::Concat(items) => {
+                // First item is most significant.
+                let mut word = Vec::new();
+                for item in items.iter().rev() {
+                    let w = eval_expr(item, module, by_target, aig, env, visiting)?;
+                    word.extend(w);
+                }
+                Ok(word)
+            }
+            Expr::Repeat(k, inner) => {
+                let w = eval_expr(inner, module, by_target, aig, env, visiting)?;
+                let mut word = Vec::with_capacity(k * w.len());
+                for _ in 0..*k {
+                    word.extend(w.iter().copied());
+                }
+                Ok(word)
+            }
+            Expr::Unary(op, inner) => {
+                let w = eval_expr(inner, module, by_target, aig, env, visiting)?;
+                Ok(match op {
+                    UnOp::Not => words::not_word(&w),
+                    UnOp::LogicalNot => vec![!words::red_or(aig, &w)],
+                    UnOp::Neg => words::neg(aig, &w),
+                    UnOp::RedOr => vec![words::red_or(aig, &w)],
+                    UnOp::RedAnd => vec![words::red_and(aig, &w)],
+                    UnOp::RedXor => vec![words::red_xor(aig, &w)],
+                })
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let a = eval_expr(lhs, module, by_target, aig, env, visiting)?;
+                let b = eval_expr(rhs, module, by_target, aig, env, visiting)?;
+                Ok(match op {
+                    BinOp::Add => words::add(aig, &a, &b).0,
+                    BinOp::Sub => words::sub(aig, &a, &b).0,
+                    BinOp::Mul => words::mul(aig, &a, &b),
+                    BinOp::Div => words::divmod(aig, &a, &b).0,
+                    BinOp::Mod => words::divmod(aig, &a, &b).1,
+                    BinOp::Shl => shift(aig, &a, &b, true),
+                    BinOp::Shr => shift(aig, &a, &b, false),
+                    BinOp::And => words::bitwise(aig, &a, &b, |g, x, y| g.and(x, y)),
+                    BinOp::Or => words::bitwise(aig, &a, &b, |g, x, y| g.or(x, y)),
+                    BinOp::Xor => words::bitwise(aig, &a, &b, |g, x, y| g.xor(x, y)),
+                    BinOp::LogicalAnd => {
+                        let la = words::red_or(aig, &a);
+                        let lb = words::red_or(aig, &b);
+                        vec![aig.and(la, lb)]
+                    }
+                    BinOp::LogicalOr => {
+                        let la = words::red_or(aig, &a);
+                        let lb = words::red_or(aig, &b);
+                        vec![aig.or(la, lb)]
+                    }
+                    BinOp::Eq => vec![words::eq(aig, &a, &b)],
+                    BinOp::Ne => vec![!words::eq(aig, &a, &b)],
+                    BinOp::Lt => vec![words::ult(aig, &a, &b)],
+                    BinOp::Ge => vec![!words::ult(aig, &a, &b)],
+                    BinOp::Gt => vec![words::ult(aig, &b, &a)],
+                    BinOp::Le => vec![!words::ult(aig, &b, &a)],
+                })
+            }
+            Expr::Ternary(c, t, e) => {
+                let cw = eval_expr(c, module, by_target, aig, env, visiting)?;
+                let s = words::red_or(aig, &cw);
+                let tw = eval_expr(t, module, by_target, aig, env, visiting)?;
+                let ew = eval_expr(e, module, by_target, aig, env, visiting)?;
+                Ok(words::mux(aig, s, &tw, &ew))
+            }
+        }
+    }
+
+    /// Shift with a constant-detecting fast path.
+    fn shift(aig: &mut Aig, a: &[Lit], s: &[Lit], left: bool) -> Vec<Lit> {
+        if s.iter().all(|l| l.is_const()) {
+            let k: usize = s
+                .iter()
+                .enumerate()
+                .map(|(i, &l)| if l == Lit::TRUE { 1usize << i.min(31) } else { 0 })
+                .sum();
+            return if left {
+                words::shl_const(a, k.min(a.len()))
+            } else {
+                words::shr_const(a, k.min(a.len()))
+            };
+        }
+        if left {
+            words::shl_var(aig, a, s)
+        } else {
+            words::shr_var(aig, a, s)
+        }
+    }
+
+    // Drive all outputs.
+    let mut visiting = HashSet::new();
+    for sig in &outputs {
+        let word = eval_signal(&sig.name, module, &by_target, &mut aig, &mut env, &mut visiting)?;
+        for &bit in &word {
+            aig.add_po(bit);
+        }
+    }
+    Ok(aig.cleanup())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+
+    fn build(src: &str) -> Aig {
+        elaborate(&parse_module(src).expect("parse")).expect("elaborate")
+    }
+
+    #[test]
+    fn adder_module() {
+        let aig = build(
+            "module add4(a, b, s);
+               input [3:0] a, b;
+               output [4:0] s;
+               assign s = a + b;
+             endmodule",
+        );
+        // s is declared 5 bits but a+b is 4 bits zero-extended: check mod-16
+        // semantics at the declared width.
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(aig.eval(x | (y << 4)), (x + y) & 15);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_sum_via_concat() {
+        let aig = build(
+            "module add4c(a, b, s);
+               input [3:0] a, b;
+               output [4:0] s;
+               assign s = {1'b0, a} + {1'b0, b};
+             endmodule",
+        );
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert_eq!(aig.eval(x | (y << 4)), x + y);
+            }
+        }
+    }
+
+    #[test]
+    fn division_module_matches_intdiv_shape() {
+        let aig = build(
+            "module div(x, y);
+               input [4:0] x;
+               output [4:0] y;
+               assign y = 5'd16 / x;
+             endmodule",
+        );
+        for x in 1..32u64 {
+            assert_eq!(aig.eval(x), 16 / x, "16/{x}");
+        }
+    }
+
+    #[test]
+    fn wires_in_any_order_and_selects() {
+        let aig = build(
+            "module m(a, y);
+               input [3:0] a;
+               output [1:0] y;
+               wire [3:0] t;
+               assign y = t[3:2];
+               assign t = a ^ {4{a[0]}};
+             endmodule",
+        );
+        for x in 0..16u64 {
+            let t = x ^ if x & 1 == 1 { 15 } else { 0 };
+            assert_eq!(aig.eval(x), (t >> 2) & 3);
+        }
+    }
+
+    #[test]
+    fn ternary_and_relational() {
+        let aig = build(
+            "module max(a, b, y);
+               input [2:0] a, b;
+               output [2:0] y;
+               assign y = (a >= b) ? a : b;
+             endmodule",
+        );
+        for x in 0..8u64 {
+            for y in 0..8u64 {
+                assert_eq!(aig.eval(x | (y << 3)), x.max(y));
+            }
+        }
+    }
+
+    #[test]
+    fn variable_shift() {
+        let aig = build(
+            "module sh(a, k, y);
+               input [7:0] a;
+               input [2:0] k;
+               output [7:0] y;
+               assign y = a >> k;
+             endmodule",
+        );
+        for x in [0u64, 0xA5, 0xFF, 0x80] {
+            for k in 0..8u64 {
+                assert_eq!(aig.eval(x | (k << 8)), x >> k, "{x} >> {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let r = parse_module(
+            "module m(y);
+               output y;
+               wire a, b;
+               assign a = b;
+               assign b = a;
+               assign y = a;
+             endmodule",
+        )
+        .map(|m| elaborate(&m));
+        assert!(matches!(r, Ok(Err(VerilogError::Elaborate { .. }))));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers_and_undeclared() {
+        let double = parse_module(
+            "module m(a, y);
+               input a; output y;
+               assign y = a;
+               assign y = ~a;
+             endmodule",
+        )
+        .unwrap();
+        assert!(elaborate(&double).is_err());
+        let undeclared = parse_module(
+            "module m(a, y);
+               input a; output y;
+               assign y = ghost;
+             endmodule",
+        )
+        .unwrap();
+        assert!(elaborate(&undeclared).is_err());
+    }
+
+    #[test]
+    fn modulo_operator() {
+        let aig = build(
+            "module m(a, y);
+               input [3:0] a;
+               output [2:0] y;
+               assign y = a % 3'd5;
+             endmodule",
+        );
+        for x in 0..16u64 {
+            assert_eq!(aig.eval(x), x % 5);
+        }
+    }
+}

@@ -1,0 +1,481 @@
+//! Recursive-descent parser for the Verilog subset.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use crate::VerilogError;
+
+/// Parses a single module from source text.
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Lex`] or [`VerilogError::Parse`] on malformed
+/// input.
+pub fn parse_module(src: &str) -> Result<Module, VerilogError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let m = p.module()?;
+    p.expect_eof()?;
+    Ok(m)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if let Some(Token::Punct(q)) = self.peek() {
+            if *q == p {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<(), VerilogError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(VerilogError::parse(format!(
+                "expected {p:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, VerilogError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            t => Err(VerilogError::parse(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), VerilogError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(VerilogError::parse(format!(
+                "expected keyword {kw:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), VerilogError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(VerilogError::parse(format!(
+                "trailing input after endmodule: {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn small_number(&mut self) -> Result<usize, VerilogError> {
+        match self.next() {
+            Some(Token::Number { bits, .. }) => {
+                if bits.len() > 32 {
+                    return Err(VerilogError::parse("index constant too large"));
+                }
+                Ok(bits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| (b as usize) << i)
+                    .sum())
+            }
+            t => Err(VerilogError::parse(format!("expected number, found {t:?}"))),
+        }
+    }
+
+    fn module(&mut self) -> Result<Module, VerilogError> {
+        self.expect_keyword("module")?;
+        let name = self.ident()?;
+        self.expect_punct("(")?;
+        let mut ports = Vec::new();
+        if !self.eat_punct(")") {
+            loop {
+                ports.push(self.ident()?);
+                if self.eat_punct(")") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+        }
+        self.expect_punct(";")?;
+        let mut signals = Vec::new();
+        let mut assigns = Vec::new();
+        loop {
+            if self.eat_keyword("endmodule") {
+                break;
+            }
+            if self.eat_keyword("input") {
+                self.declaration(SignalKind::Input, &mut signals)?;
+            } else if self.eat_keyword("output") {
+                self.declaration(SignalKind::Output, &mut signals)?;
+            } else if self.eat_keyword("wire") {
+                self.declaration(SignalKind::Wire, &mut signals)?;
+            } else if self.eat_keyword("assign") {
+                let target = self.ident()?;
+                self.expect_punct("=")?;
+                let expr = self.expr()?;
+                self.expect_punct(";")?;
+                assigns.push(Assign { target, expr });
+            } else {
+                return Err(VerilogError::parse(format!(
+                    "expected declaration, assign or endmodule, found {:?}",
+                    self.peek()
+                )));
+            }
+        }
+        Ok(Module {
+            name,
+            ports,
+            signals,
+            assigns,
+        })
+    }
+
+    fn declaration(
+        &mut self,
+        kind: SignalKind,
+        signals: &mut Vec<Signal>,
+    ) -> Result<(), VerilogError> {
+        // Optional `wire` after input/output (e.g. `output wire y`).
+        if kind != SignalKind::Wire {
+            let _ = self.eat_keyword("wire");
+        }
+        let (msb, lsb) = if self.eat_punct("[") {
+            let msb = self.small_number()?;
+            self.expect_punct(":")?;
+            let lsb = self.small_number()?;
+            self.expect_punct("]")?;
+            if lsb > msb {
+                return Err(VerilogError::parse("descending ranges only ([msb:lsb])"));
+            }
+            (msb, lsb)
+        } else {
+            (0, 0)
+        };
+        loop {
+            let name = self.ident()?;
+            signals.push(Signal {
+                name,
+                kind,
+                msb,
+                lsb,
+            });
+            if self.eat_punct(";") {
+                break;
+            }
+            self.expect_punct(",")?;
+        }
+        Ok(())
+    }
+
+    // Expression grammar, lowest to highest precedence:
+    //   ternary  ?:
+    //   logical  || &&
+    //   bitwise  | ^ &
+    //   equality == !=
+    //   relational < <= > >=
+    //   shift << >>
+    //   additive + -
+    //   multiplicative * / %
+    //   unary ~ ! - | & ^ (reductions)
+    //   postfix [i] [m:l]
+    //   primary ident literal (expr) {…}
+    fn expr(&mut self) -> Result<Expr, VerilogError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, VerilogError> {
+        let cond = self.logical_or()?;
+        if self.eat_punct("?") {
+            let t = self.expr()?;
+            self.expect_punct(":")?;
+            let e = self.expr()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        ops: &[(&str, BinOp)],
+        next: F,
+    ) -> Result<Expr, VerilogError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, VerilogError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (p, op) in ops {
+                if self.eat_punct(p) {
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("||", BinOp::LogicalOr)], Self::logical_and)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("&&", BinOp::LogicalAnd)], Self::bit_or)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("|", BinOp::Or)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("^", BinOp::Xor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("&", BinOp::And)], Self::equality)
+    }
+
+    fn equality(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("==", BinOp::Eq), ("!=", BinOp::Ne)], Self::relational)
+    }
+
+    fn relational(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(
+            &[
+                ("<=", BinOp::Le),
+                (">=", BinOp::Ge),
+                ("<", BinOp::Lt),
+                (">", BinOp::Gt),
+            ],
+            Self::shift,
+        )
+    }
+
+    fn shift(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("<<", BinOp::Shl), (">>", BinOp::Shr)], Self::additive)
+    }
+
+    fn additive(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Self::multiplicative)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, VerilogError> {
+        self.binary_level(
+            &[("*", BinOp::Mul), ("/", BinOp::Div), ("%", BinOp::Mod)],
+            Self::unary,
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, VerilogError> {
+        for (p, op) in [
+            ("~", UnOp::Not),
+            ("!", UnOp::LogicalNot),
+            ("-", UnOp::Neg),
+            ("|", UnOp::RedOr),
+            ("&", UnOp::RedAnd),
+            ("^", UnOp::RedXor),
+        ] {
+            if self.eat_punct(p) {
+                let inner = self.unary()?;
+                return Ok(Expr::Unary(op, Box::new(inner)));
+            }
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, VerilogError> {
+        let mut e = self.primary()?;
+        while self.eat_punct("[") {
+            let first = self.small_number()?;
+            if self.eat_punct(":") {
+                let lsb = self.small_number()?;
+                self.expect_punct("]")?;
+                if lsb > first {
+                    return Err(VerilogError::parse("descending part select only"));
+                }
+                e = Expr::Range(Box::new(e), first, lsb);
+            } else {
+                self.expect_punct("]")?;
+                e = Expr::Index(Box::new(e), first);
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, VerilogError> {
+        if self.eat_punct("(") {
+            let e = self.expr()?;
+            self.expect_punct(")")?;
+            return Ok(e);
+        }
+        if self.eat_punct("{") {
+            // Either replication {k{expr}} or concatenation {a, b, …}.
+            // Lookahead: number followed by `{`.
+            let save = self.pos;
+            if let Some(Token::Number { .. }) = self.peek() {
+                let k = self.small_number()?;
+                if self.eat_punct("{") {
+                    let inner = self.expr()?;
+                    self.expect_punct("}")?;
+                    self.expect_punct("}")?;
+                    return Ok(Expr::Repeat(k, Box::new(inner)));
+                }
+                self.pos = save;
+            }
+            let mut items = Vec::new();
+            loop {
+                items.push(self.expr()?);
+                if self.eat_punct("}") {
+                    break;
+                }
+                self.expect_punct(",")?;
+            }
+            return Ok(Expr::Concat(items));
+        }
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(Expr::Ident(s)),
+            Some(Token::Number { width, bits }) => Ok(Expr::Literal {
+                bits,
+                sized: width.is_some(),
+            }),
+            t => Err(VerilogError::parse(format!(
+                "expected expression, found {t:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_module() {
+        let m = parse_module(
+            "module m(a, b, y);
+               input [3:0] a, b;
+               output [3:0] y;
+               assign y = a + b;
+             endmodule",
+        )
+        .unwrap();
+        assert_eq!(m.name, "m");
+        assert_eq!(m.ports, vec!["a", "b", "y"]);
+        assert_eq!(m.signals.len(), 3);
+        assert_eq!(m.signal("a").unwrap().width(), 4);
+        assert_eq!(m.assigns.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let m = parse_module(
+            "module m(a, b, c, y);
+               input a, b, c; output y;
+               assign y = a + b * c;
+             endmodule",
+        )
+        .unwrap();
+        match &m.assigns[0].expr {
+            Expr::Binary(BinOp::Add, _, rhs) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_and_comparison() {
+        let m = parse_module(
+            "module m(a, b, y);
+               input [1:0] a, b; output [1:0] y;
+               assign y = (a < b) ? a : b;
+             endmodule",
+        )
+        .unwrap();
+        assert!(matches!(m.assigns[0].expr, Expr::Ternary(_, _, _)));
+    }
+
+    #[test]
+    fn concat_replication_and_selects() {
+        let m = parse_module(
+            "module m(a, y);
+               input [3:0] a; output [7:0] y;
+               assign y = {a[3:2], {2{a[0]}}, a[1], 3'b101};
+             endmodule",
+        )
+        .unwrap();
+        match &m.assigns[0].expr {
+            Expr::Concat(items) => {
+                assert_eq!(items.len(), 4);
+                assert!(matches!(items[0], Expr::Range(_, 3, 2)));
+                assert!(matches!(items[1], Expr::Repeat(2, _)));
+                assert!(matches!(items[2], Expr::Index(_, 1)));
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn reduction_vs_binary_ops() {
+        let m = parse_module(
+            "module m(a, b, y);
+               input [3:0] a, b; output y;
+               assign y = |a & &b;
+             endmodule",
+        )
+        .unwrap();
+        // Parses as (|a) & (&b).
+        match &m.assigns[0].expr {
+            Expr::Binary(BinOp::And, l, r) => {
+                assert!(matches!(**l, Expr::Unary(UnOp::RedOr, _)));
+                assert!(matches!(**r, Expr::Unary(UnOp::RedAnd, _)));
+            }
+            e => panic!("unexpected {e:?}"),
+        }
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let r = parse_module(
+            "module m(a); input a; assign a = a endmodule",
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn error_on_trailing_tokens() {
+        let r = parse_module("module m(); endmodule extra");
+        assert!(r.is_err());
+    }
+}

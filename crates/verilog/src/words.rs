@@ -1,0 +1,410 @@
+//! Word-level construction helpers over [`Aig`] literals.
+//!
+//! A *word* is a `Vec<Lit>`, least-significant bit first. These functions
+//! implement the bit-blasting of every operator in the Verilog subset:
+//! ripple-carry adders, an array multiplier, a restoring divider (the heart
+//! of INTDIV), barrel shifters (needed by NEWTON's normalization step) and
+//! comparators.
+
+use qda_logic::aig::{Aig, Lit};
+
+/// A constant word of the given width.
+pub fn constant(width: usize, bits: &[bool]) -> Vec<Lit> {
+    (0..width)
+        .map(|i| {
+            if *bits.get(i).unwrap_or(&false) {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
+        .collect()
+}
+
+/// Zero-extends (or truncates) a word to `width`.
+pub fn resize(word: &[Lit], width: usize) -> Vec<Lit> {
+    (0..width)
+        .map(|i| *word.get(i).unwrap_or(&Lit::FALSE))
+        .collect()
+}
+
+/// Bitwise NOT.
+pub fn not_word(word: &[Lit]) -> Vec<Lit> {
+    word.iter().map(|&l| !l).collect()
+}
+
+/// Bitwise binary op applied lane-wise after widening both operands to the
+/// larger width.
+pub fn bitwise<F: FnMut(&mut Aig, Lit, Lit) -> Lit>(
+    aig: &mut Aig,
+    a: &[Lit],
+    b: &[Lit],
+    mut op: F,
+) -> Vec<Lit> {
+    let w = a.len().max(b.len());
+    let a = resize(a, w);
+    let b = resize(b, w);
+    a.iter().zip(&b).map(|(&x, &y)| op(aig, x, y)).collect()
+}
+
+/// Full adder returning `(sum, carry)`.
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, cin);
+    let carry = aig.maj(a, b, cin);
+    (sum, carry)
+}
+
+/// Ripple-carry addition, result width = max operand width (wrapping);
+/// returns `(sum, carry_out)`.
+pub fn add(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let w = a.len().max(b.len());
+    let a = resize(a, w);
+    let b = resize(b, w);
+    let mut carry = Lit::FALSE;
+    let mut out = Vec::with_capacity(w);
+    for i in 0..w {
+        let (s, c) = full_adder(aig, a[i], b[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// Two's-complement subtraction `a − b` (wrapping); returns
+/// `(difference, no_borrow)` where `no_borrow = 1` iff `a ≥ b`.
+pub fn sub(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let w = a.len().max(b.len());
+    let a = resize(a, w);
+    let nb = not_word(&resize(b, w));
+    let mut carry = Lit::TRUE;
+    let mut out = Vec::with_capacity(w);
+    for i in 0..w {
+        let (s, c) = full_adder(aig, a[i], nb[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    (out, carry)
+}
+
+/// Unsigned array multiplication, result width = `a.len() + b.len()`.
+pub fn mul(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let mut acc = vec![Lit::FALSE; a.len() + b.len()];
+    for (i, &bi) in b.iter().enumerate() {
+        // Partial product (a & b_i) << i, added into the accumulator.
+        let pp: Vec<Lit> = a.iter().map(|&aj| aig.and(aj, bi)).collect();
+        let mut carry = Lit::FALSE;
+        for (j, &p) in pp.iter().enumerate() {
+            let (s, c) = full_adder(aig, acc[i + j], p, carry);
+            acc[i + j] = s;
+            carry = c;
+        }
+        // Ripple the final carry upwards.
+        let mut k = i + pp.len();
+        while carry != Lit::FALSE && k < acc.len() {
+            let (s, c) = full_adder(aig, acc[k], carry, Lit::FALSE);
+            acc[k] = s;
+            carry = c;
+            k += 1;
+        }
+    }
+    acc
+}
+
+/// Word multiplexer `s ? t : e` (operands widened to the larger width).
+pub fn mux(aig: &mut Aig, s: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    let w = t.len().max(e.len());
+    let t = resize(t, w);
+    let e = resize(e, w);
+    t.iter().zip(&e).map(|(&x, &y)| aig.mux(s, x, y)).collect()
+}
+
+/// Unsigned restoring division: returns `(quotient, remainder)` with
+/// `quotient.len() == a.len()` and `remainder.len() == b.len()`.
+///
+/// Division by zero yields all-ones quotient and `remainder = a mod 2^wb`
+/// — a harmless total definition (hardware dividers must output
+/// *something*; the reciprocal designs never divide by zero because the
+/// paper's input range starts at 1).
+pub fn divmod(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+    let wa = a.len();
+    let wb = b.len();
+    // Remainder register one bit wider than the divisor.
+    let mut rem: Vec<Lit> = vec![Lit::FALSE; wb + 1];
+    let b_ext = resize(b, wb + 1);
+    let mut quot = vec![Lit::FALSE; wa];
+    for i in (0..wa).rev() {
+        // rem = (rem << 1) | a[i]
+        rem.rotate_right(1);
+        rem[0] = a[i];
+        // Trial subtraction.
+        let (diff, no_borrow) = sub(aig, &rem, &b_ext);
+        quot[i] = no_borrow;
+        rem = mux(aig, no_borrow, &diff, &rem);
+    }
+    (quot, resize(&rem, wb))
+}
+
+/// Left shift by a constant (width preserved, zeros shifted in).
+pub fn shl_const(a: &[Lit], k: usize) -> Vec<Lit> {
+    let w = a.len();
+    (0..w)
+        .map(|i| {
+            if i >= k {
+                a[i - k]
+            } else {
+                Lit::FALSE
+            }
+        })
+        .collect()
+}
+
+/// Logical right shift by a constant (width preserved).
+pub fn shr_const(a: &[Lit], k: usize) -> Vec<Lit> {
+    let w = a.len();
+    (0..w)
+        .map(|i| *a.get(i + k).unwrap_or(&Lit::FALSE))
+        .collect()
+}
+
+/// Barrel left shift by a variable amount (width of `a` preserved).
+pub fn shl_var(aig: &mut Aig, a: &[Lit], s: &[Lit]) -> Vec<Lit> {
+    let mut cur: Vec<Lit> = a.to_vec();
+    for (j, &sj) in s.iter().enumerate() {
+        let k = 1usize << j.min(31);
+        let shifted = if j >= 31 || k >= cur.len() {
+            vec![Lit::FALSE; cur.len()]
+        } else {
+            shl_const(&cur, k)
+        };
+        cur = mux(aig, sj, &shifted, &cur);
+    }
+    cur
+}
+
+/// Barrel logical right shift by a variable amount.
+pub fn shr_var(aig: &mut Aig, a: &[Lit], s: &[Lit]) -> Vec<Lit> {
+    let mut cur: Vec<Lit> = a.to_vec();
+    for (j, &sj) in s.iter().enumerate() {
+        let k = 1usize << j.min(31);
+        let shifted = if j >= 31 || k >= cur.len() {
+            vec![Lit::FALSE; cur.len()]
+        } else {
+            shr_const(&cur, k)
+        };
+        cur = mux(aig, sj, &shifted, &cur);
+    }
+    cur
+}
+
+/// Equality comparison (1-bit result).
+pub fn eq(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    let w = a.len().max(b.len());
+    let a = resize(a, w);
+    let b = resize(b, w);
+    let lanes: Vec<Lit> = a.iter().zip(&b).map(|(&x, &y)| aig.xnor(x, y)).collect();
+    aig.and_many(&lanes)
+}
+
+/// Unsigned less-than (1-bit result).
+pub fn ult(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    let (_, no_borrow) = sub(aig, a, b);
+    !no_borrow
+}
+
+/// Reduction OR of a word.
+pub fn red_or(aig: &mut Aig, a: &[Lit]) -> Lit {
+    let inverted: Vec<Lit> = a.iter().map(|&l| !l).collect();
+    !aig.and_many(&inverted)
+}
+
+/// Reduction AND of a word.
+pub fn red_and(aig: &mut Aig, a: &[Lit]) -> Lit {
+    aig.and_many(a)
+}
+
+/// Reduction XOR of a word.
+pub fn red_xor(aig: &mut Aig, a: &[Lit]) -> Lit {
+    a.iter()
+        .fold(Lit::FALSE, |acc, &l| aig.xor(acc, l))
+}
+
+/// Two's-complement negation (width preserved).
+pub fn neg(aig: &mut Aig, a: &[Lit]) -> Vec<Lit> {
+    let zero = vec![Lit::FALSE; a.len()];
+    sub(aig, &zero, a).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds an AIG computing `f(a, b)` on two `w`-bit inputs and checks
+    /// it against `expected` for all input pairs.
+    fn check2<FB, FE>(w: usize, build: FB, expected: FE)
+    where
+        FB: Fn(&mut Aig, &[Lit], &[Lit]) -> Vec<Lit>,
+        FE: Fn(u64, u64) -> u64,
+    {
+        let mut aig = Aig::new(2 * w);
+        let a: Vec<Lit> = (0..w).map(|i| aig.pi(i)).collect();
+        let b: Vec<Lit> = (0..w).map(|i| aig.pi(w + i)).collect();
+        let out = build(&mut aig, &a, &b);
+        let ow = out.len();
+        for l in out {
+            aig.add_po(l);
+        }
+        let mask = if ow >= 64 { u64::MAX } else { (1u64 << ow) - 1 };
+        for x in 0..(1u64 << w) {
+            for y in 0..(1u64 << w) {
+                let input = x | (y << w);
+                assert_eq!(
+                    aig.eval(input),
+                    expected(x, y) & mask,
+                    "x={x} y={y} w={w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_matches_u64() {
+        check2(4, |g, a, b| add(g, a, b).0, |x, y| (x + y) & 15);
+    }
+
+    #[test]
+    fn adder_carry_out() {
+        check2(
+            3,
+            |g, a, b| {
+                let (mut s, c) = add(g, a, b);
+                s.push(c);
+                s
+            },
+            |x, y| x + y,
+        );
+    }
+
+    #[test]
+    fn subtractor_matches_wrapping() {
+        check2(4, |g, a, b| sub(g, a, b).0, |x, y| x.wrapping_sub(y) & 15);
+    }
+
+    #[test]
+    fn multiplier_matches_u64() {
+        check2(3, |g, a, b| mul(g, a, b), |x, y| x * y);
+    }
+
+    #[test]
+    fn division_and_modulo() {
+        check2(
+            4,
+            |g, a, b| divmod(g, a, b).0,
+            |x, y| if y == 0 { 15 } else { x / y },
+        );
+        check2(
+            4,
+            |g, a, b| divmod(g, a, b).1,
+            |x, y| if y == 0 { x } else { x % y },
+        );
+    }
+
+    #[test]
+    fn asymmetric_width_division() {
+        // 6-bit dividend / 3-bit divisor, as INTDIV uses (2^n / x).
+        let mut aig = Aig::new(9);
+        let a: Vec<Lit> = (0..6).map(|i| aig.pi(i)).collect();
+        let b: Vec<Lit> = (0..3).map(|i| aig.pi(6 + i)).collect();
+        let (q, r) = divmod(&mut aig, &a, &b);
+        assert_eq!(q.len(), 6);
+        assert_eq!(r.len(), 3);
+        for l in q.into_iter().chain(r) {
+            aig.add_po(l);
+        }
+        for x in 0..64u64 {
+            for y in 1..8u64 {
+                let out = aig.eval(x | (y << 6));
+                assert_eq!(out & 63, x / y, "{x}/{y}");
+                assert_eq!(out >> 6, x % y, "{x}%{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_shifts() {
+        let a = [Lit::TRUE, Lit::FALSE, Lit::TRUE, Lit::FALSE]; // 0b0101
+        let l = shl_const(&a, 1);
+        assert_eq!(l, vec![Lit::FALSE, Lit::TRUE, Lit::FALSE, Lit::TRUE]);
+        let r = shr_const(&a, 2);
+        assert_eq!(r, vec![Lit::TRUE, Lit::FALSE, Lit::FALSE, Lit::FALSE]);
+    }
+
+    #[test]
+    fn variable_shifts() {
+        // a: 4 bits, s: 3 bits.
+        let mut aig = Aig::new(7);
+        let a: Vec<Lit> = (0..4).map(|i| aig.pi(i)).collect();
+        let s: Vec<Lit> = (0..3).map(|i| aig.pi(4 + i)).collect();
+        let shl = shl_var(&mut aig, &a, &s);
+        let shr = shr_var(&mut aig, &a, &s);
+        for l in shl.into_iter().chain(shr) {
+            aig.add_po(l);
+        }
+        for x in 0..16u64 {
+            for k in 0..8u64 {
+                let out = aig.eval(x | (k << 4));
+                let expect_shl = if k >= 4 { 0 } else { (x << k) & 15 };
+                let expect_shr = if k >= 4 { 0 } else { x >> k };
+                assert_eq!(out & 15, expect_shl, "{x} << {k}");
+                assert_eq!(out >> 4, expect_shr, "{x} >> {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons() {
+        check2(3, |g, a, b| vec![eq(g, a, b)], |x, y| u64::from(x == y));
+        check2(3, |g, a, b| vec![ult(g, a, b)], |x, y| u64::from(x < y));
+    }
+
+    #[test]
+    fn reductions_and_negation() {
+        let mut aig = Aig::new(4);
+        let a: Vec<Lit> = (0..4).map(|i| aig.pi(i)).collect();
+        let or = red_or(&mut aig, &a);
+        let and = red_and(&mut aig, &a);
+        let xor = red_xor(&mut aig, &a);
+        let n = neg(&mut aig, &a);
+        aig.add_po(or);
+        aig.add_po(and);
+        aig.add_po(xor);
+        for l in n {
+            aig.add_po(l);
+        }
+        for x in 0..16u64 {
+            let y = aig.eval(x);
+            assert_eq!(y & 1, u64::from(x != 0));
+            assert_eq!((y >> 1) & 1, u64::from(x == 15));
+            assert_eq!((y >> 2) & 1, u64::from(x.count_ones() % 2 == 1));
+            assert_eq!((y >> 3) & 15, x.wrapping_neg() & 15);
+        }
+    }
+
+    #[test]
+    fn mixed_width_operands() {
+        // 3-bit + 5-bit → 5-bit result.
+        let mut aig = Aig::new(8);
+        let a: Vec<Lit> = (0..3).map(|i| aig.pi(i)).collect();
+        let b: Vec<Lit> = (0..5).map(|i| aig.pi(3 + i)).collect();
+        let (s, _) = add(&mut aig, &a, &b);
+        assert_eq!(s.len(), 5);
+        for l in s {
+            aig.add_po(l);
+        }
+        for x in 0..8u64 {
+            for y in 0..32u64 {
+                assert_eq!(aig.eval(x | (y << 3)), (x + y) & 31);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Design space exploration: run every flow on the same design and pick
+//! winners by objective — the paper's headline capability ("the designer
+//! can optimize the synthesis output with respect to several objectives
+//! such as space, time, or runtime of the design flow").
+//!
+//! Run with: `cargo run --release -p qda-core --example design_space_exploration`
+
+use qda_core::design::Design;
+use qda_core::dse::{DesignSpaceExplorer, Objective};
+use qda_core::flow::{EsopFlow, FunctionalFlow, HierarchicalFlow};
+use qda_core::report::{group_digits, Table};
+use qda_revsynth::hierarchical::CleanupStrategy;
+
+fn main() {
+    let design = Design::intdiv(7);
+    println!("exploring the design space of {design}\n");
+
+    let mut dse = DesignSpaceExplorer::new();
+    dse.add_flow(Box::new(FunctionalFlow::default()));
+    dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+    dse.add_flow(Box::new(EsopFlow::with_factoring(1)));
+    dse.add_flow(Box::new(HierarchicalFlow::with_strategy(
+        CleanupStrategy::Bennett,
+    )));
+    dse.add_flow(Box::new(HierarchicalFlow::with_strategy(
+        CleanupStrategy::PerOutput,
+    )));
+    let successes = dse.explore(&design);
+    println!("{successes} flows succeeded\n");
+
+    let mut table = Table::new(
+        "all outcomes",
+        vec!["flow", "qubits", "T-count", "runtime (ms)"],
+    );
+    for o in dse.outcomes() {
+        table.add_row(vec![
+            o.flow_name.clone(),
+            o.cost.qubits.to_string(),
+            group_digits(o.cost.t_count),
+            format!("{:.1}", o.runtime.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!("{table}");
+
+    // The same design, three different sweet spots.
+    for objective in [Objective::Qubits, Objective::TCount, Objective::Runtime] {
+        let best = dse.best(objective).expect("flows succeeded");
+        println!(
+            "minimize {objective:?}: use {:<34} → {} qubits, {} T",
+            best.flow_name,
+            best.cost.qubits,
+            group_digits(best.cost.t_count)
+        );
+    }
+
+    println!("\nPareto front (space–time trade-off the paper explores):");
+    for o in dse.pareto_front() {
+        println!(
+            "  {:>6} qubits | {:>9} T | {}",
+            o.cost.qubits,
+            group_digits(o.cost.t_count),
+            o.flow_name
+        );
+    }
+}

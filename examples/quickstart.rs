@@ -1,0 +1,35 @@
+//! Quickstart: synthesize a reversible circuit for the reciprocal `1/x`
+//! from Verilog, through one design flow, and inspect its cost.
+//!
+//! Run with: `cargo run --release -p qda-core --example quickstart`
+
+use qda_core::design::Design;
+use qda_core::flow::{EsopFlow, Flow};
+use qda_rev::state::BitState;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A design is a Verilog module (generated here, but any
+    //    combinational module in the supported subset works).
+    let design = Design::intdiv(6);
+    println!("=== {design} — generated Verilog ===\n{}", design.verilog());
+
+    // 2. Run the ESOP flow (REVS, p = 0): Verilog → AIG → BDD → ESOP →
+    //    reversible circuit. The outcome is verified against the design
+    //    automatically.
+    let outcome = EsopFlow::with_factoring(0).run(&design)?;
+    println!("flow:      {}", outcome.flow_name);
+    println!("qubits:    {}", outcome.cost.qubits);
+    println!("T-count:   {}", outcome.cost.t_count);
+    println!("gates:     {}", outcome.cost.gates);
+    println!("runtime:   {:?}", outcome.runtime);
+    println!("verified:  {:?}", outcome.verification);
+
+    // 3. Execute the circuit on a classical basis state: compute 1/22.
+    let mut state = BitState::zeros(outcome.circuit.num_lines());
+    state.write_register(&outcome.input_lines, 22);
+    outcome.circuit.apply(&mut state);
+    let y = state.read_register(&outcome.output_lines);
+    println!("\ncircuit(22) = {y:#08b}  (≈ 1/22 = {:.6})", y as f64 / 64.0);
+    assert_eq!(y, qda_arith::recip_intdiv(6, 22));
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Cross-representation consistency: the same design pushed through every
+//! intermediate representation must stay the same Boolean function at
+//! every interface of Fig. 1.
+
+use qda_classical::collapse::collapse_to_bdds;
+use qda_classical::esop_extract::extract_multi_esop;
+use qda_classical::exorcism::{minimize_esop, ExorcismOptions};
+use qda_classical::rewrite::{optimize_aig, OptimizeOptions};
+use qda_classical::xmg_map::map_to_xmg;
+use qda_core::design::Design;
+use qda_logic::sim::{check_aig_equivalence, EquivalenceOutcome};
+use qda_revsynth::embed::{minimum_additional_lines, optimum_embedding};
+
+fn designs() -> Vec<Design> {
+    vec![
+        Design::intdiv(5),
+        Design::intdiv(7),
+        Design::newton(4),
+        Design::newton(6),
+    ]
+}
+
+#[test]
+fn aig_optimization_preserves_semantics() {
+    for d in designs() {
+        let aig = d.to_aig().unwrap();
+        let opt = optimize_aig(&aig, &OptimizeOptions::default());
+        assert_eq!(
+            check_aig_equivalence(&aig, &opt, 12, 16),
+            EquivalenceOutcome::Equivalent,
+            "{d}"
+        );
+        assert!(opt.num_ands() <= aig.num_ands(), "{d}: optimizer grew the AIG");
+    }
+}
+
+#[test]
+fn bdd_collapse_agrees_with_aig() {
+    for d in designs() {
+        let aig = d.to_aig().unwrap();
+        let (mgr, bdds) = collapse_to_bdds(&aig, 1_000_000).unwrap();
+        let n = aig.num_pis();
+        for x in 0..(1u64 << n) {
+            let y = aig.eval(x);
+            for (j, &b) in bdds.iter().enumerate() {
+                assert_eq!(mgr.eval(b, x), (y >> j) & 1 == 1, "{d} x={x} out={j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn esop_extraction_and_minimization_agree_with_aig() {
+    for d in designs() {
+        let aig = d.to_aig().unwrap();
+        let (mut mgr, bdds) = collapse_to_bdds(&aig, 1_000_000).unwrap();
+        let mut esop = extract_multi_esop(&mut mgr, &bdds);
+        let before = esop.len();
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert!(esop.len() <= before, "{d}: exorcism grew the ESOP");
+        let n = aig.num_pis();
+        for x in 0..(1u64 << n) {
+            assert_eq!(esop.eval(x), aig.eval(x), "{d} x={x}");
+        }
+    }
+}
+
+#[test]
+fn xmg_mapping_agrees_with_aig() {
+    for d in designs() {
+        let aig = d.to_aig().unwrap();
+        let opt = optimize_aig(&aig, &OptimizeOptions::default());
+        let xmg = map_to_xmg(&opt);
+        let n = aig.num_pis();
+        for x in 0..(1u64 << n) {
+            assert_eq!(xmg.eval(x), aig.eval(x), "{d} x={x}");
+        }
+        // XMGs of arithmetic should contain XOR gates — that's their point.
+        assert!(xmg.num_xors() > 0, "{d}: no XOR extracted");
+    }
+}
+
+#[test]
+fn reciprocal_needs_2n_minus_1_lines() {
+    // The embedding result behind Table II: the reciprocal's largest
+    // collision class forces exactly n − 1 additional lines.
+    for n in [4usize, 5, 6, 7, 8] {
+        let tts = Design::intdiv(n).to_aig().unwrap().to_truth_tables();
+        assert_eq!(minimum_additional_lines(&tts), n - 1, "n={n}");
+        let e = optimum_embedding(&tts);
+        assert_eq!(e.num_lines(), 2 * n - 1, "n={n}");
+        assert!(e.validate(&tts), "n={n}");
+    }
+}
+
+#[test]
+fn intdiv_and_newton_approximate_the_same_function() {
+    // §V: "that the numbers are equivalent for INTDIV and NEWTON is not
+    // necessarily expected, as NEWTON approximates 1/x". Check the designs
+    // agree within rounding on most inputs.
+    for n in [6usize, 8] {
+        let a = Design::intdiv(n).to_aig().unwrap();
+        let b = Design::newton(n).to_aig().unwrap();
+        let mut close = 0u64;
+        for x in 2..(1u64 << n) {
+            let ya = a.eval(x) as i64;
+            let yb = b.eval(x) as i64;
+            if (ya - yb).abs() <= 2 {
+                close += 1;
+            }
+        }
+        let total = (1u64 << n) - 2;
+        assert!(
+            close * 100 >= total * 95,
+            "n={n}: only {close}/{total} within 2 ulp"
+        );
+    }
+}
+
+#[test]
+fn newton_embedding_may_differ_from_intdiv() {
+    // Also from §V: the approximation "may have an effect on the maximum
+    // occurrence of an output assignment" — compute both and require them
+    // to be close (equal for these sizes).
+    for n in [5usize, 6] {
+        let a = Design::intdiv(n).to_aig().unwrap().to_truth_tables();
+        let b = Design::newton(n).to_aig().unwrap().to_truth_tables();
+        let ga = minimum_additional_lines(&a);
+        let gb = minimum_additional_lines(&b);
+        assert!(
+            (ga as i64 - gb as i64).abs() <= 1,
+            "n={n}: embedding lines {ga} vs {gb}"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests: every design flow end to end, across crates
+//! (`qda-verilog` → `qda-classical` → `qda-revsynth` → `qda-rev`).
+
+use qda_core::design::Design;
+use qda_core::flow::{EsopFlow, Flow, FunctionalFlow, HierarchicalFlow};
+use qda_rev::equiv::VerifyOutcome;
+use qda_rev::state::BitState;
+use qda_revsynth::hierarchical::CleanupStrategy;
+
+/// Replays a flow outcome against the golden reciprocal model on every
+/// input (the flows verify against the AIG; this closes the loop against
+/// the independent software model).
+fn check_against_golden(outcome: &qda_core::flow::FlowOutcome, golden: impl Fn(u64) -> u64) {
+    let n = outcome.design.bits();
+    for x in 1..(1u64 << n) {
+        let mut s = BitState::zeros(outcome.circuit.num_lines());
+        s.write_register(&outcome.input_lines, x);
+        outcome.circuit.apply(&mut s);
+        assert_eq!(
+            s.read_register(&outcome.output_lines),
+            golden(x),
+            "{} x={x}",
+            outcome.flow_name
+        );
+    }
+}
+
+#[test]
+fn functional_flow_intdiv_matches_golden_model() {
+    for n in [4usize, 5, 6] {
+        let outcome = FunctionalFlow::default().run(&Design::intdiv(n)).unwrap();
+        assert_eq!(outcome.cost.qubits, 2 * n - 1, "optimum embedding");
+        check_against_golden(&outcome, |x| qda_arith::recip_intdiv(n, x));
+    }
+}
+
+#[test]
+fn functional_flow_newton_matches_golden_model() {
+    for n in [4usize, 5] {
+        let outcome = FunctionalFlow::default().run(&Design::newton(n)).unwrap();
+        check_against_golden(&outcome, |x| qda_arith::recip_newton(n, x));
+    }
+}
+
+#[test]
+fn esop_flow_both_designs_and_factoring_levels() {
+    for n in [5usize, 6] {
+        for p in [0usize, 1, 2] {
+            let flow = EsopFlow::with_factoring(p);
+            let intdiv = flow.run(&Design::intdiv(n)).unwrap();
+            if p == 0 {
+                assert_eq!(intdiv.cost.qubits, 2 * n, "p=0 is exactly 2n lines");
+            }
+            check_against_golden(&intdiv, |x| qda_arith::recip_intdiv(n, x));
+            let newton = flow.run(&Design::newton(n)).unwrap();
+            check_against_golden(&newton, |x| qda_arith::recip_newton(n, x));
+        }
+    }
+}
+
+#[test]
+fn hierarchical_flow_all_strategies() {
+    for strategy in [
+        CleanupStrategy::Bennett,
+        CleanupStrategy::PerOutput,
+        CleanupStrategy::KeepGarbage,
+    ] {
+        let flow = HierarchicalFlow::with_strategy(strategy);
+        let outcome = flow.run(&Design::intdiv(5)).unwrap();
+        check_against_golden(&outcome, |x| qda_arith::recip_intdiv(5, x));
+    }
+}
+
+#[test]
+fn flows_disagree_on_costs_but_agree_on_function() {
+    let design = Design::intdiv(6);
+    let functional = FunctionalFlow::default().run(&design).unwrap();
+    let esop = EsopFlow::with_factoring(0).run(&design).unwrap();
+    let hier = HierarchicalFlow::default().run(&design).unwrap();
+    // The paper's central trade-off, as hard assertions:
+    // qubits: functional < esop < hierarchical.
+    assert!(functional.cost.qubits < esop.cost.qubits);
+    assert!(esop.cost.qubits < hier.cost.qubits);
+    // T-count: hierarchical < esop < functional.
+    assert!(hier.cost.t_count < functional.cost.t_count);
+    assert!(esop.cost.t_count < functional.cost.t_count);
+    // All three compute the same function.
+    for x in 0..64u64 {
+        for o in [&functional, &esop, &hier] {
+            let mut s = BitState::zeros(o.circuit.num_lines());
+            s.write_register(&o.input_lines, x);
+            o.circuit.apply(&mut s);
+            assert_eq!(
+                s.read_register(&o.output_lines),
+                qda_arith::recip_intdiv(6, x.min(63)),
+                "{} x={x}",
+                o.flow_name
+            );
+        }
+    }
+}
+
+#[test]
+fn verification_outcomes_are_reported() {
+    let outcome = EsopFlow::with_factoring(0).run(&Design::intdiv(4)).unwrap();
+    assert_eq!(outcome.verification, VerifyOutcome::Verified);
+    assert!(outcome.runtime.as_nanos() > 0);
+    assert_eq!(outcome.flow_name, "ESOP (REVS, p = 0)");
+}
+
+#[test]
+fn larger_hierarchical_instance_verifies_by_sampling() {
+    // n = 16 exceeds the exhaustive limit; the flow falls back to
+    // randomized verification, mirroring the paper's `cec` on large
+    // designs.
+    let outcome = HierarchicalFlow::default().run(&Design::intdiv(16)).unwrap();
+    assert!(matches!(
+        outcome.verification,
+        VerifyOutcome::ProbablyCorrect { .. }
+    ));
+    // Spot-check a few inputs against the golden model.
+    for x in [1u64, 2, 3, 1000, 65535] {
+        let mut s = BitState::zeros(outcome.circuit.num_lines());
+        s.write_register(&outcome.input_lines, x);
+        outcome.circuit.apply(&mut s);
+        assert_eq!(
+            s.read_register(&outcome.output_lines),
+            qda_arith::recip_intdiv(16, x)
+        );
+    }
+}
