@@ -29,7 +29,10 @@ fn ratio_literal(num: u64, den: u64, frac: usize, width: usize) -> String {
     }
     let trimmed = quotient.trim_start_matches('0');
     let digits = if trimmed.is_empty() { "0" } else { trimmed };
-    assert!(digits.len() <= width, "constant does not fit in {width} bits");
+    assert!(
+        digits.len() <= width,
+        "constant does not fit in {width} bits"
+    );
     format!("{width}'b{}{}", "0".repeat(width - digits.len()), digits)
 }
 

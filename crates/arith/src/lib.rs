@@ -11,6 +11,24 @@
 //!   divider; the reciprocal uses the `N = 2n` instance);
 //! * [`qnewton`] — the QNEWTON baseline: a hand-built reversible
 //!   Newton–Raphson reciprocal.
+//!
+//! # Example
+//!
+//! The golden model and the generated Verilog agree: elaborating
+//! `INTDIV(4)` and simulating the AIG reproduces [`recip_intdiv`]:
+//!
+//! ```
+//! // Example 1 of the paper: n = 8, x = 22 → y = 0b00001011.
+//! assert_eq!(qda_arith::recip_intdiv(8, 22), 0b0000_1011);
+//!
+//! let src = qda_arith::intdiv_verilog(4);
+//! let module = qda_verilog::parse_module(&src)?;
+//! let aig = qda_verilog::elaborate(&module)?;
+//! for x in 0..16u64 {
+//!     assert_eq!(aig.eval(x), qda_arith::recip_intdiv(4, x));
+//! }
+//! # Ok::<(), qda_verilog::VerilogError>(())
+//! ```
 
 pub mod fixed;
 pub mod gen;

@@ -67,10 +67,9 @@ fn ratio_bits(num: u64, den: u64, frac: usize) -> Vec<bool> {
 /// # Panics
 ///
 /// Panics if the value is smaller than `2^exp`.
-fn sub_power_of_two(bits: &mut Vec<bool>, exp: usize) {
+fn sub_power_of_two(bits: &mut [bool], exp: usize) {
     let mut i = exp;
     loop {
-        assert!(i < bits.len() || bits.len() > i, "underflow in constant bias");
         if i >= bits.len() {
             panic!("underflow in constant bias");
         }
@@ -156,8 +155,8 @@ pub fn qnewton_circuit(n: usize) -> QNewtonCircuit {
     grow(&mut circuit, &alloc);
     for k in 0..n {
         let mut controls = vec![Control::positive(x_lines[k])];
-        for j in (k + 1)..n {
-            controls.push(Control::negative(x_lines[j]));
+        for &x in &x_lines[(k + 1)..n] {
+            controls.push(Control::negative(x));
         }
         circuit.add_gate(Gate::mct(controls, h_lines[k]));
     }
@@ -165,23 +164,23 @@ pub fn qnewton_circuit(n: usize) -> QNewtonCircuit {
     let s_lines = alloc.alloc_many(eb);
     let e_lines = alloc.alloc_many(eb);
     grow(&mut circuit, &alloc);
-    for k in 0..n {
+    for (k, &h) in h_lines.iter().enumerate().take(n) {
         let s_val = n - 1 - k;
         let e_val = k + 1;
         for j in 0..eb {
             if (s_val >> j) & 1 == 1 {
-                circuit.cnot(h_lines[k], s_lines[j]);
+                circuit.cnot(h, s_lines[j]);
             }
             if (e_val >> j) & 1 == 1 {
-                circuit.cnot(h_lines[k], e_lines[j]);
+                circuit.cnot(h, e_lines[j]);
             }
         }
     }
     // Uncompute the one-hot detector; recycle its lines.
     for k in (0..n).rev() {
         let mut controls = vec![Control::positive(x_lines[k])];
-        for j in (k + 1)..n {
-            controls.push(Control::negative(x_lines[j]));
+        for &x in &x_lines[(k + 1)..n] {
+            controls.push(Control::negative(x));
         }
         circuit.add_gate(Gate::mct(controls, h_lines[k]));
     }
@@ -354,7 +353,10 @@ mod tests {
             let x = 1u64 << k;
             let y = run(&q, x) as i64;
             let exact = 1i64 << (n - k);
-            assert!((exact - y) <= 1 && exact >= y, "x=2^{k}: y={y} exact={exact}");
+            assert!(
+                (exact - y) <= 1 && exact >= y,
+                "x=2^{k}: y={y} exact={exact}"
+            );
         }
     }
 

@@ -69,7 +69,7 @@ pub fn recip_newton(n: usize, x: u64) -> u64 {
     }
     let n32 = n as u32;
     let w = 2 * n32; // working precision (fraction bits)
-    // Normalize: k = MSB index, x' = x / 2^(k+1) ∈ [1/2, 1).
+                     // Normalize: k = MSB index, x' = x / 2^(k+1) ∈ [1/2, 1).
     let k = 63 - x.leading_zeros();
     let e = k + 1;
     // x' in Q3.n: raw = x << (n - k - 1).

@@ -10,11 +10,9 @@ fn bench_esop(c: &mut Criterion) {
     for p in [0usize, 1] {
         let flow = EsopFlow::with_factoring(p);
         for n in [5usize, 6] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("intdiv_p{p}"), n),
-                &n,
-                |b, &n| b.iter(|| flow.run(&Design::intdiv(n)).expect("flow")),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("intdiv_p{p}"), n), &n, |b, &n| {
+                b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"))
+            });
         }
     }
     group.finish();

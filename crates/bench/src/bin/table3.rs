@@ -17,9 +17,7 @@ fn main() {
     let p1 = EsopFlow::with_factoring(1);
     let mut table = Table::new(
         "TABLE III — REVS ESOP-based synthesis",
-        vec![
-            "design", "n", "p", "qubits", "T-count", "runtime",
-        ],
+        vec!["design", "n", "p", "qubits", "T-count", "runtime"],
     );
     for n in 5..=max_n {
         for (design, label) in [(Design::intdiv(n), "INTDIV"), (Design::newton(n), "NEWTON")] {

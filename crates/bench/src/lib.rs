@@ -13,5 +13,16 @@
 //! largest instances (minutes to hours, like the original experiments) and
 //! default to a laptop-scale subset that still exhibits every reported
 //! trend.
+//!
+//! # Example
+//!
+//! The [`runner`] module holds the shared CLI plumbing; runtimes are
+//! printed in the paper's unit (seconds, two decimals):
+//!
+//! ```
+//! use std::time::Duration;
+//!
+//! assert_eq!(qda_bench::runner::secs(Duration::from_millis(1230)), "1.23");
+//! ```
 
 pub mod runner;

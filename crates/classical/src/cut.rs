@@ -17,9 +17,7 @@ pub struct Cut {
 impl Cut {
     /// The trivial cut `{node}`.
     pub fn trivial(node: usize) -> Self {
-        Self {
-            leaves: vec![node],
-        }
+        Self { leaves: vec![node] }
     }
 
     /// The leaves, ascending.
@@ -80,9 +78,8 @@ impl Cut {
 /// cut). Returns one cut list per node index.
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
     let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
-    cuts[0] = vec![Cut::trivial(0)];
-    for i in 1..=aig.num_pis() {
-        cuts[i] = vec![Cut::trivial(i)];
+    for (i, c) in cuts.iter_mut().enumerate().take(aig.num_pis() + 1) {
+        *c = vec![Cut::trivial(i)];
     }
     for n in (aig.num_pis() + 1)..aig.num_nodes() {
         let [a, b] = aig.fanins(n);
@@ -132,10 +129,7 @@ pub fn cut_truth_table(aig: &Aig, root: usize, cut: &Cut) -> u16 {
         if let Some(&v) = memo.get(&node) {
             return v;
         }
-        assert!(
-            aig.is_and(node),
-            "node {node} unreachable from cut leaves"
-        );
+        assert!(aig.is_and(node), "node {node} unreachable from cut leaves");
         let [a, b] = aig.fanins(node);
         let va = eval(aig, a.node(), memo) ^ if a.is_complement() { 0xFFFF } else { 0 };
         let vb = eval(aig, b.node(), memo) ^ if b.is_complement() { 0xFFFF } else { 0 };
@@ -178,9 +172,9 @@ mod tests {
     fn every_node_has_trivial_cut() {
         let (aig, _) = sample_aig();
         let cuts = enumerate_cuts(&aig, 4, 8);
-        for n in 1..aig.num_nodes() {
+        for (n, node_cuts) in cuts.iter().enumerate().skip(1) {
             assert!(
-                cuts[n].iter().any(|c| c.leaves() == [n]),
+                node_cuts.iter().any(|c| c.leaves() == [n]),
                 "node {n} missing trivial cut"
             );
         }
@@ -219,9 +213,7 @@ mod tests {
     #[test]
     fn domination_filtering() {
         let small = Cut { leaves: vec![1] };
-        let big = Cut {
-            leaves: vec![1, 2],
-        };
+        let big = Cut { leaves: vec![1, 2] };
         assert!(small.dominates(&big));
         assert!(!big.dominates(&small));
     }

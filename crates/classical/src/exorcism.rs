@@ -12,7 +12,6 @@
 //!
 //! The loop runs until a fixpoint or the iteration budget is reached.
 
-
 use qda_logic::esop::MultiEsop;
 
 /// Options for [`minimize_esop`].
@@ -120,9 +119,7 @@ fn exorlink_pass(esop: &mut MultiEsop) -> bool {
                 let current_lits = ci.num_literals() + cj.num_literals();
                 let new_lits = a.num_literals() + b.num_literals();
                 let unlocks = esop.cubes().iter().enumerate().any(|(k, &(ck, mk))| {
-                    k != i && k != j
-                        && mk == mi
-                        && (ck.distance(&a) <= 1 || ck.distance(&b) <= 1)
+                    k != i && k != j && mk == mi && (ck.distance(&a) <= 1 || ck.distance(&b) <= 1)
                 });
                 if unlocks || new_lits < current_lits {
                     let cubes = esop.cubes_mut();

@@ -10,6 +10,28 @@
 //! * [`cut`] — k-feasible cut enumeration,
 //! * [`xmg_map`] — AIG → XMG mapping over 4-feasible cuts
 //!   (CirKit `xmglut -k 4`).
+//!
+//! # Example
+//!
+//! Collapse a two-input XOR AIG into a BDD and extract its ESOP:
+//!
+//! ```
+//! use qda_classical::collapse::collapse_to_bdds;
+//! use qda_classical::esop_extract::extract_esop;
+//! use qda_logic::aig::Aig;
+//! use qda_logic::tt::TruthTable;
+//!
+//! let mut aig = Aig::new(2);
+//! let a = aig.pi(0);
+//! let b = aig.pi(1);
+//! let f = aig.xor(a, b);
+//! aig.add_po(f);
+//! let (mut mgr, bdds) = collapse_to_bdds(&aig, 1_000)?;
+//! let esop = extract_esop(&mut mgr, bdds[0]);
+//! let xor = TruthTable::from_fn(2, |x| (x ^ (x >> 1)) & 1 == 1);
+//! assert_eq!(esop.to_truth_table(), xor);
+//! # Ok::<(), qda_classical::collapse::CollapseError>(())
+//! ```
 
 pub mod collapse;
 pub mod cut;

@@ -77,8 +77,8 @@ pub fn balance(aig: &Aig) -> Aig {
     let fanout = fanout_counts(aig);
     let mut out = Aig::new(aig.num_pis());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..=aig.num_pis() {
-        map[i] = Lit::new(i, false);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_pis() + 1) {
+        *m = Lit::new(i, false);
     }
     for n in (aig.num_pis() + 1)..aig.num_nodes() {
         // Collect the maximal AND tree rooted here, stopping at
@@ -100,9 +100,7 @@ pub fn balance(aig: &Aig) -> Aig {
 
 fn collect_and_leaves(aig: &Aig, lit: Lit, root: usize, fanout: &[usize], leaves: &mut Vec<Lit>) {
     let n = lit.node();
-    let expandable = !lit.is_complement()
-        && aig.is_and(n)
-        && (n == root || fanout[n] == 1);
+    let expandable = !lit.is_complement() && aig.is_and(n) && (n == root || fanout[n] == 1);
     if expandable {
         let [a, b] = aig.fanins(n);
         collect_and_leaves(aig, a, root, fanout, leaves);
@@ -161,8 +159,8 @@ pub fn fraig_exact(aig: &Aig) -> Aig {
     };
     let mut out = Aig::new(n_in);
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..=n_in {
-        map[i] = Lit::new(i, false);
+    for (i, m) in map.iter_mut().enumerate().take(n_in + 1) {
+        *m = Lit::new(i, false);
     }
     // Canonical table (with complement normalization: lowest bit clear).
     let mut canon: HashMap<Vec<u64>, Lit> = HashMap::new();
@@ -214,7 +212,9 @@ mod tests {
         let mut lits: Vec<Lit> = (0..num_pis).map(|i| aig.pi(i)).collect();
         let mut state = seed | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for _ in 0..num_ands {

@@ -41,7 +41,9 @@ fn depends(tt: u16, v: usize) -> bool {
 /// Panics if fewer than 4 leaf literals are provided for a function that
 /// depends on the missing variables.
 pub fn xmg_from_tt4(xmg: &mut Xmg, tt: u16, leaves: &[Lit]) -> Lit {
-    let active: Vec<usize> = (0..4.min(leaves.len())).filter(|&v| depends(tt, v)).collect();
+    let active: Vec<usize> = (0..4.min(leaves.len()))
+        .filter(|&v| depends(tt, v))
+        .collect();
     synth(xmg, tt, leaves, &active)
 }
 
@@ -105,8 +107,7 @@ fn synth(xmg: &mut Xmg, tt: u16, leaves: &[Lit], active: &[usize]) -> Lit {
                     let tc = VAR_PAT[c] ^ if pc { 0xFFFF } else { 0 };
                     let maj = (ta & tb) | (ta & tc) | (tb & tc);
                     if tt == maj {
-                        let (la, lb, lc) =
-                            (leaves[a] ^ pa, leaves[b] ^ pb, leaves[c] ^ pc);
+                        let (la, lb, lc) = (leaves[a] ^ pa, leaves[b] ^ pb, leaves[c] ^ pc);
                         return xmg.maj(la, lb, lc);
                     }
                 }
@@ -215,8 +216,8 @@ pub fn map_to_xmg(aig: &Aig) -> Xmg {
     // Build the XMG in topological order.
     let mut xmg = Xmg::new(aig.num_pis());
     let mut map: Vec<Lit> = vec![Lit::FALSE; aig.num_nodes()];
-    for i in 0..=aig.num_pis() {
-        map[i] = Lit::new(i, false);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_pis() + 1) {
+        *m = Lit::new(i, false);
     }
     for n in (aig.num_pis() + 1)..aig.num_nodes() {
         if !required[n] {

@@ -45,7 +45,10 @@ fn main() {
         let out = c_opt.simulate_u64(x);
         assert_eq!(out & ((1 << m) - 1), sqrt.eval(x), "x={x}");
     }
-    println!("\ncircuit verified: floor(sqrt(x)) correct for all {} inputs", 1 << n);
+    println!(
+        "\ncircuit verified: floor(sqrt(x)) correct for all {} inputs",
+        1 << n
+    );
 
     // The space/time lever of the paper, on a custom function: the
     // optimum embedding saves lines; Bennett preserves the inputs.

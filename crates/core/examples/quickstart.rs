@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     state.write_register(&outcome.input_lines, 22);
     outcome.circuit.apply(&mut state);
     let y = state.read_register(&outcome.output_lines);
-    println!("\ncircuit(22) = {y:#08b}  (≈ 1/22 = {:.6})", y as f64 / 64.0);
+    println!(
+        "\ncircuit(22) = {y:#08b}  (≈ 1/22 = {:.6})",
+        y as f64 / 64.0
+    );
     assert_eq!(y, qda_arith::recip_intdiv(6, 22));
     Ok(())
 }

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("collapsed:  {mgr:?}");
     let mut esop = extract_multi_esop(&mut mgr, &bdds);
     let removed = minimize_esop(&mut esop, &ExorcismOptions::default());
-    println!("ESOP:       {} cubes (exorcism removed {removed})", esop.len());
+    println!(
+        "ESOP:       {} cubes (exorcism removed {removed})",
+        esop.len()
+    );
     let xmg = map_to_xmg(&aig);
     println!("XMG:        {xmg:?}");
 

@@ -361,14 +361,26 @@ impl fmt::Display for FlowGraph {
         writeln!(f, "design level        INTDIV(n)        NEWTON(n)")?;
         writeln!(f, "                        \\               /")?;
         writeln!(f, "                         Verilog source")?;
-        writeln!(f, "logic synthesis          parse + elaborate   [qda-verilog]")?;
-        writeln!(f, "level                    AIG optimize (dc2)  [qda-classical]")?;
+        writeln!(
+            f,
+            "logic synthesis          parse + elaborate   [qda-verilog]"
+        )?;
+        writeln!(
+            f,
+            "level                    AIG optimize (dc2)  [qda-classical]"
+        )?;
         writeln!(f, "                      /        |         \\")?;
         writeln!(f, "                   collapse  exorcism   xmglut -k 4")?;
         writeln!(f, "                    BDD        ESOP        XMG")?;
         writeln!(f, "reversible          |           |           |")?;
-        writeln!(f, "synthesis        embedding   REVS ESOP   REVS hierarchical")?;
-        writeln!(f, "level             + TBS      (p = 0,1)   (Bennett/per-output)")?;
+        writeln!(
+            f,
+            "synthesis        embedding   REVS ESOP   REVS hierarchical"
+        )?;
+        writeln!(
+            f,
+            "level             + TBS      (p = 0,1)   (Bennett/per-output)"
+        )?;
         writeln!(f, "                    |           |           |")?;
         writeln!(f, "quantum level     reversible circuits: qubits × T-count")?;
         writeln!(f, "                  Architecture 1 … Architecture n")?;

@@ -64,7 +64,7 @@ pub fn group_digits(value: u64) -> String {
     let digits = value.to_string();
     let mut out = String::new();
     for (i, c) in digits.chars().enumerate() {
-        if i > 0 && (digits.len() - i) % 3 == 0 {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
             out.push(' ');
         }
         out.push(c);
@@ -144,7 +144,12 @@ mod tests {
     fn table_renders_aligned() {
         let mut t = Table::new("TABLE II", vec!["n", "qubits", "T-count", "runtime"]);
         t.add_row(vec!["4".into(), "7".into(), "597".into(), "0.10".into()]);
-        t.add_row(vec!["8".into(), "15".into(), "51 386".into(), "0.74".into()]);
+        t.add_row(vec![
+            "8".into(),
+            "15".into(),
+            "51 386".into(),
+            "0.74".into(),
+        ]);
         let s = t.to_string();
         assert!(s.contains("TABLE II"));
         assert!(s.contains("51 386"));

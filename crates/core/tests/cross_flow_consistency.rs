@@ -30,7 +30,10 @@ fn aig_optimization_preserves_semantics() {
             EquivalenceOutcome::Equivalent,
             "{d}"
         );
-        assert!(opt.num_ands() <= aig.num_ands(), "{d}: optimizer grew the AIG");
+        assert!(
+            opt.num_ands() <= aig.num_ands(),
+            "{d}: optimizer grew the AIG"
+        );
     }
 }
 

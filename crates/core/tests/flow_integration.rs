@@ -113,7 +113,9 @@ fn larger_hierarchical_instance_verifies_by_sampling() {
     // n = 16 exceeds the exhaustive limit; the flow falls back to
     // randomized verification, mirroring the paper's `cec` on large
     // designs.
-    let outcome = HierarchicalFlow::default().run(&Design::intdiv(16)).unwrap();
+    let outcome = HierarchicalFlow::default()
+        .run(&Design::intdiv(16))
+        .unwrap();
     assert!(matches!(
         outcome.verification,
         VerifyOutcome::ProbablyCorrect { .. }

@@ -175,7 +175,11 @@ impl Aig {
     /// simplification rules and structural hashing.
     pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
         // Normalize operand order for canonical hashing.
-        let (a, b) = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        let (a, b) = if a.index() <= b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         if a == Lit::FALSE || a == !b {
             return Lit::FALSE;
         }
@@ -251,8 +255,8 @@ impl Aig {
         }
         for n in (self.num_pis + 1)..self.fanins.len() {
             let [a, b] = self.fanins[n];
-            values[n] = (values[a.node()] ^ a.is_complement())
-                && (values[b.node()] ^ b.is_complement());
+            values[n] =
+                (values[a.node()] ^ a.is_complement()) && (values[b.node()] ^ b.is_complement());
         }
         let mut y = 0u64;
         for (j, po) in self.pos.iter().enumerate() {
@@ -320,8 +324,8 @@ impl Aig {
         }
         let mut out = Aig::new(self.num_pis);
         let mut map: Vec<Lit> = vec![Lit::FALSE; self.fanins.len()];
-        for i in 0..=self.num_pis {
-            map[i] = Lit::new(i, false);
+        for (i, m) in map.iter_mut().enumerate().take(self.num_pis + 1) {
+            *m = Lit::new(i, false);
         }
         for n in (self.num_pis + 1)..self.fanins.len() {
             if !reach[n] {
@@ -434,7 +438,11 @@ mod tests {
             let (va, vb, vc) = (input & 1, (input >> 1) & 1, (input >> 2) & 1);
             let y = aig.eval(input);
             assert_eq!(y & 1, va ^ vb, "xor at {input}");
-            assert_eq!((y >> 1) & 1, if va == 1 { vb } else { vc }, "mux at {input}");
+            assert_eq!(
+                (y >> 1) & 1,
+                if va == 1 { vb } else { vc },
+                "mux at {input}"
+            );
             assert_eq!((y >> 2) & 1, u64::from(va + vb + vc >= 2), "maj at {input}");
         }
     }
@@ -483,7 +491,11 @@ mod tests {
     fn depth_and_levels() {
         let mut aig = Aig::new(4);
         let pis: Vec<Lit> = (0..4).map(|i| aig.pi(i)).collect();
-        let chain = pis.iter().copied().reduce(|acc, p| aig.and(acc, p)).unwrap();
+        let chain = pis
+            .iter()
+            .copied()
+            .reduce(|acc, p| aig.and(acc, p))
+            .unwrap();
         aig.add_po(chain);
         assert_eq!(aig.depth(), 3);
     }

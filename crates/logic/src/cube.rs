@@ -36,7 +36,10 @@ pub struct Cube {
 impl Cube {
     /// The empty product (constant one / tautology cube).
     pub fn tautology() -> Self {
-        Self { care: 0, polarity: 0 }
+        Self {
+            care: 0,
+            polarity: 0,
+        }
     }
 
     /// Builds a cube from raw masks.
@@ -197,7 +200,9 @@ impl Cube {
             let care_diff = self.care ^ other.care;
             let both = self.care & other.care;
             let pol_diff = both & (self.polarity ^ other.polarity);
-            (0..64).filter(|v| ((care_diff | pol_diff) >> v) & 1 == 1).collect()
+            (0..64)
+                .filter(|v| ((care_diff | pol_diff) >> v) & 1 == 1)
+                .collect()
         };
         debug_assert_eq!(positions.len(), 2);
         // Write a = A_p A_q C and b = B_p B_q C (C: the agreeing rest). With
@@ -207,7 +212,7 @@ impl Cube {
         let (p, q) = (positions[0], positions[1]);
         let d_p = entry_difference(entry(self, p), entry(other, p))?;
         let d_q = entry_difference(entry(self, q), entry(other, q))?;
-        if which % 2 == 0 {
+        if which.is_multiple_of(2) {
             Some((set_entry(self, q, d_q), set_entry(other, p, d_p)))
         } else {
             Some((set_entry(self, p, d_p), set_entry(other, q, d_q)))
@@ -272,7 +277,11 @@ fn entry_difference(a: Entry, b: Entry) -> Option<Entry> {
 
 impl fmt::Debug for Cube {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Cube({})", self.to_pla_string(64.min(64 - self.care.leading_zeros() as usize + 1)))
+        write!(
+            f,
+            "Cube({})",
+            self.to_pla_string(64.min(64 - self.care.leading_zeros() as usize + 1))
+        )
     }
 }
 
@@ -294,8 +303,12 @@ mod tests {
 
     #[test]
     fn distance_counts_three_valued_positions() {
-        let a = Cube::tautology().with_literal(0, true).with_literal(1, false);
-        let b = Cube::tautology().with_literal(0, false).with_literal(1, false);
+        let a = Cube::tautology()
+            .with_literal(0, true)
+            .with_literal(1, false);
+        let b = Cube::tautology()
+            .with_literal(0, false)
+            .with_literal(1, false);
         assert_eq!(a.distance(&b), 1);
         let c = Cube::tautology().with_literal(1, false);
         assert_eq!(a.distance(&c), 1);
@@ -309,17 +322,20 @@ mod tests {
     fn merge_distance_one_is_xor_equivalent() {
         let cases = [
             (
-                Cube::tautology().with_literal(0, true).with_literal(1, true),
-                Cube::tautology().with_literal(0, false).with_literal(1, true),
+                Cube::tautology()
+                    .with_literal(0, true)
+                    .with_literal(1, true),
+                Cube::tautology()
+                    .with_literal(0, false)
+                    .with_literal(1, true),
             ),
             (
-                Cube::tautology().with_literal(0, true).with_literal(1, true),
+                Cube::tautology()
+                    .with_literal(0, true)
+                    .with_literal(1, true),
                 Cube::tautology().with_literal(1, true),
             ),
-            (
-                Cube::tautology().with_literal(2, false),
-                Cube::tautology(),
-            ),
+            (Cube::tautology().with_literal(2, false), Cube::tautology()),
         ];
         for (a, b) in cases {
             let m = a.merge_distance_one(&b).expect("distance 1");
@@ -346,8 +362,12 @@ mod tests {
                 Cube::tautology().with_literal(1, false),
             ),
             (
-                Cube::tautology().with_literal(0, true).with_literal(2, true),
-                Cube::tautology().with_literal(0, false).with_literal(2, false),
+                Cube::tautology()
+                    .with_literal(0, true)
+                    .with_literal(2, true),
+                Cube::tautology()
+                    .with_literal(0, false)
+                    .with_literal(2, false),
             ),
         ];
         for (a, b) in pairs {
@@ -386,7 +406,9 @@ mod tests {
     #[test]
     fn covers_subset_semantics() {
         let big = Cube::tautology().with_literal(0, true);
-        let small = Cube::tautology().with_literal(0, true).with_literal(1, false);
+        let small = Cube::tautology()
+            .with_literal(0, true)
+            .with_literal(1, false);
         assert!(big.covers(&small));
         assert!(!small.covers(&big));
         assert!(Cube::tautology().covers(&small));
@@ -394,7 +416,9 @@ mod tests {
 
     #[test]
     fn pla_rendering() {
-        let c = Cube::tautology().with_literal(0, true).with_literal(3, false);
+        let c = Cube::tautology()
+            .with_literal(0, true)
+            .with_literal(3, false);
         assert_eq!(c.to_pla_string(4), "1--0");
     }
 }

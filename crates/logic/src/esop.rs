@@ -35,7 +35,10 @@ pub struct Esop {
 impl Esop {
     /// The constant-zero ESOP (no cubes).
     pub fn zero(num_vars: usize) -> Self {
-        Self { num_vars, cubes: Vec::new() }
+        Self {
+            num_vars,
+            cubes: Vec::new(),
+        }
     }
 
     /// Builds an ESOP from explicit cubes.
@@ -47,7 +50,10 @@ impl Esop {
     /// assignment). Exponential; starting point for minimization only.
     pub fn from_truth_table(tt: &TruthTable) -> Self {
         let cubes = tt.ones().map(|x| Cube::minterm(tt.num_vars(), x)).collect();
-        Self { num_vars: tt.num_vars(), cubes }
+        Self {
+            num_vars: tt.num_vars(),
+            cubes,
+        }
     }
 
     /// Number of input variables.
@@ -157,7 +163,11 @@ impl MultiEsop {
     /// Panics if `num_outputs` is 0 or greater than 64.
     pub fn zero(num_vars: usize, num_outputs: usize) -> Self {
         assert!(num_outputs > 0 && num_outputs <= 64);
-        Self { num_vars, num_outputs, cubes: Vec::new() }
+        Self {
+            num_vars,
+            num_outputs,
+            cubes: Vec::new(),
+        }
     }
 
     /// Builds from `(cube, output mask)` pairs.
@@ -179,7 +189,11 @@ impl MultiEsop {
             }
         }
         let cubes = map.into_iter().filter(|&(_, m)| m != 0).collect();
-        Self { num_vars, num_outputs: esops.len(), cubes }
+        Self {
+            num_vars,
+            num_outputs: esops.len(),
+            cubes,
+        }
     }
 
     /// Number of input variables.

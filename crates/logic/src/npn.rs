@@ -192,7 +192,6 @@ mod tests {
         assert_eq!(support_size(0x00FF), 1); // depends only on x3
         assert_eq!(support_size(0x8000), 4);
         assert_eq!(support_size(0x0000), 0);
-        assert!(depends_on(0x5555u16.reverse_bits() as Tt4, 0) || true);
         assert!(depends_on(0xAAAA, 0));
         assert!(!depends_on(0xAAAA, 1));
     }

@@ -65,7 +65,12 @@ impl EquivalenceOutcome {
 /// # Panics
 ///
 /// Panics if the interfaces disagree.
-pub fn check_aig_equivalence(a: &Aig, b: &Aig, exhaustive_limit: usize, random_rounds: u64) -> EquivalenceOutcome {
+pub fn check_aig_equivalence(
+    a: &Aig,
+    b: &Aig,
+    exhaustive_limit: usize,
+    random_rounds: u64,
+) -> EquivalenceOutcome {
     assert_eq!(a.num_pis(), b.num_pis(), "PI count mismatch");
     assert_eq!(a.num_pos(), b.num_pos(), "PO count mismatch");
     let n = a.num_pis();

@@ -244,7 +244,10 @@ impl TruthTable {
         // For each assignment x, out(x) = self(x with var := value).
         if var < 6 {
             let shift = 1u64 << var;
-            for (o, (&s, &p)) in out.words.iter_mut().zip(self.words.iter().zip(proj.words.iter()))
+            for (o, (&s, &p)) in out
+                .words
+                .iter_mut()
+                .zip(self.words.iter().zip(proj.words.iter()))
             {
                 *o = if value {
                     let hi = s & p;
@@ -531,7 +534,7 @@ mod tests {
     #[test]
     fn binary_string_round_trip() {
         let t = TruthTable::from_binary_str("1000");
-        assert_eq!(t.get(3), true);
+        assert!(t.get(3));
         assert_eq!(t.count_ones(), 1);
         assert_eq!(t.to_string(), "1000");
     }

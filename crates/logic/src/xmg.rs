@@ -241,7 +241,7 @@ impl Xmg {
                 XmgNode::Xor([a, b]) => read(&values, a) ^ read(&values, b),
                 XmgNode::Maj([a, b, c]) => {
                     let (va, vb, vc) = (read(&values, a), read(&values, b), read(&values, c));
-                    (va && vb) || (va && vc) || (vb && vc)
+                    (va as u8 + vb as u8 + vc as u8) >= 2
                 }
             };
         }
@@ -334,8 +334,8 @@ impl Xmg {
         }
         let mut out = Xmg::new(self.num_pis);
         let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
-        for i in 0..=self.num_pis {
-            map[i] = Lit::new(i, false);
+        for (i, m) in map.iter_mut().enumerate().take(self.num_pis + 1) {
+            *m = Lit::new(i, false);
         }
         let remap = |map: &[Lit], l: Lit| map[l.node()] ^ l.is_complement();
         for n in self.gate_indices() {

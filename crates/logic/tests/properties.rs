@@ -87,10 +87,10 @@ proptest! {
         let mut items = vec![0u8, 1, 2, 3];
         let mut perm = [0u8; 4];
         let mut sel = perm_sel;
-        for i in 0..4 {
+        for p in perm.iter_mut() {
             let k = sel % items.len();
             sel /= 4;
-            perm[i] = items.remove(k);
+            *p = items.remove(k);
         }
         let t = qda_logic::npn::NpnTransform { perm, input_flips: flips, output_flip: out };
         let variant = apply_transform(tt, &t);

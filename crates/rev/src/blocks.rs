@@ -113,13 +113,7 @@ pub fn cuccaro_sub(
 /// # Panics
 ///
 /// Panics if the registers differ in width or are empty.
-pub fn less_than(
-    circuit: &mut Circuit,
-    a: &[usize],
-    b: &[usize],
-    ancilla: usize,
-    target: usize,
-) {
+pub fn less_than(circuit: &mut Circuit, a: &[usize], b: &[usize], ancilla: usize, target: usize) {
     cuccaro_sub(circuit, a, b, ancilla, Some(target), None);
     cuccaro_add(circuit, a, b, ancilla, None, None);
 }

@@ -265,7 +265,7 @@ mod tests {
         c.cnot(2, 0);
         c.not(1);
         let perm = c.permutation();
-        let mut seen = vec![false; 8];
+        let mut seen = [false; 8];
         for &y in &perm {
             assert!(!seen[y as usize], "not a permutation");
             seen[y as usize] = true;

@@ -96,8 +96,13 @@ impl fmt::Display for CircuitCost {
         write!(
             f,
             "{} qubits, {} gates (NOT {}, CNOT {}, TOF {}, MCT {}), T-count {}",
-            self.qubits, self.gates, self.not_count, self.cnot_count, self.toffoli_count,
-            self.mct_count, self.t_count
+            self.qubits,
+            self.gates,
+            self.not_count,
+            self.cnot_count,
+            self.toffoli_count,
+            self.mct_count,
+            self.t_count
         )
     }
 }

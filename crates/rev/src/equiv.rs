@@ -165,7 +165,10 @@ pub fn verify_computes<F: Fn(u64) -> u64>(
 ///
 /// Panics if the circuit has more than 24 lines (exhaustive only).
 pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> VerifyOutcome {
-    assert!(circuit.num_lines() <= 24, "too many lines for exhaustive check");
+    assert!(
+        circuit.num_lines() <= 24,
+        "too many lines for exhaustive check"
+    );
     assert_eq!(perm.len() as u64, 1u64 << circuit.num_lines());
     for (x, &expected) in perm.iter().enumerate() {
         let actual = circuit.simulate_u64(x as u64);

@@ -171,14 +171,14 @@ pub fn optimum_embedding(f: &MultiTruthTable) -> Embedding {
         }
     }
     let mut free_iter = 0usize;
-    for v in 0..size {
-        if permutation[v] != unassigned {
+    for slot in permutation.iter_mut().take(size) {
+        if *slot != unassigned {
             continue;
         }
         while used[free_iter] {
             free_iter += 1;
         }
-        permutation[v] = free_iter as u64;
+        *slot = free_iter as u64;
         used[free_iter] = true;
     }
     Embedding {
@@ -197,11 +197,7 @@ mod tests {
     fn reciprocal(n: usize) -> MultiTruthTable {
         // y = n-bit fraction of 2^n / x (INTDIV semantics), rec(0) := 0.
         MultiTruthTable::from_fn(n, n, |x| {
-            if x == 0 {
-                0
-            } else {
-                ((1u64 << n) / x) & ((1 << n) - 1)
-            }
+            (1u64 << n).checked_div(x).unwrap_or(0) & ((1 << n) - 1)
         })
     }
 

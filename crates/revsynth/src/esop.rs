@@ -147,7 +147,7 @@ pub fn synthesize_esop(esop: &MultiEsop, options: &EsopSynthOptions) -> EsopSynt
 /// One greedy factoring pass: extracts disjoint best-scoring sub-cubes.
 /// Returns whether anything was extracted.
 fn factoring_pass(
-    cubes: &mut Vec<(Cube, u64)>,
+    cubes: &mut [(Cube, u64)],
     factors: &mut Vec<Cube>,
     n: usize,
     min_sharers: usize,
@@ -167,9 +167,7 @@ fn factoring_pass(
                     .iter()
                     .enumerate()
                     .filter(|(_, (c, _))| {
-                        common
-                            .literals()
-                            .all(|(v, pos)| c.literal(v) == Some(pos))
+                        common.literals().all(|(v, pos)| c.literal(v) == Some(pos))
                     })
                     .map(|(k, _)| k)
                     .collect();
@@ -186,7 +184,7 @@ fn factoring_pass(
                     continue;
                 }
                 let score = saved - cost;
-                if best.as_ref().map_or(true, |(s, _, _)| score > *s) {
+                if best.as_ref().is_none_or(|(s, _, _)| score > *s) {
                     best = Some((score, common, sharers));
                 }
             }
@@ -229,14 +227,17 @@ mod tests {
                 ..Default::default()
             },
         );
-        assert_eq!(outcome, VerifyOutcome::Verified, "p={}", options.factoring_passes);
+        assert_eq!(
+            outcome,
+            VerifyOutcome::Verified,
+            "p={}",
+            options.factoring_passes
+        );
         s
     }
 
     fn esop_of(tts: &[TruthTable]) -> MultiEsop {
-        MultiEsop::from_single_outputs(
-            &tts.iter().map(Esop::from_truth_table).collect::<Vec<_>>(),
-        )
+        MultiEsop::from_single_outputs(&tts.iter().map(Esop::from_truth_table).collect::<Vec<_>>())
     }
 
     #[test]

@@ -143,9 +143,8 @@ fn compute_node(
             // XOR fanins are stored positive by canonicalization.
             let (la, lb) = (frame.line(a.node()), frame.line(b.node()));
             // In-place: overwrite a dying gate-operand line.
-            let dying = |l: Lit, remaining: &[usize]| {
-                xmg.is_gate(l.node()) && remaining[l.node()] == 1
-            };
+            let dying =
+                |l: Lit, remaining: &[usize]| xmg.is_gate(l.node()) && remaining[l.node()] == 1;
             if options.inplace_xor && dying(a, remaining_uses) {
                 emit(circuit, alloc, Gate::cnot(lb, la), log);
                 frame.line_of[node] = la;
@@ -166,7 +165,11 @@ fn compute_node(
         XmgNode::Maj([a, b, c]) => {
             let t = alloc.alloc();
             let consts: Vec<Lit> = [a, b, c].iter().copied().filter(|l| l.is_const()).collect();
-            let vars: Vec<Lit> = [a, b, c].iter().copied().filter(|l| !l.is_const()).collect();
+            let vars: Vec<Lit> = [a, b, c]
+                .iter()
+                .copied()
+                .filter(|l| !l.is_const())
+                .collect();
             match consts.as_slice() {
                 [] => {
                     // t ^= maj(a,b,c) via conjugation. Fold operand

@@ -12,6 +12,22 @@
 //! * [`hierarchical`] — XMG-driven structural synthesis: one ancilla per
 //!   gate (Bennett cleanup or eager cleanup), lowest T-count, most qubits,
 //!   scales to hundreds of input bits.
+//!
+//! # Example
+//!
+//! Transformation-based synthesis of a CNOT, given as a permutation:
+//!
+//! ```
+//! use qda_revsynth::{transformation_based_synthesis, TbsDirection};
+//!
+//! // x1 ^= x0, tabulated over two lines.
+//! let perm = vec![0b00, 0b11, 0b10, 0b01];
+//! let circuit = transformation_based_synthesis(&perm, TbsDirection::Unidirectional);
+//! assert_eq!(circuit.num_gates(), 1); // TBS finds the single CNOT
+//! for (x, &y) in perm.iter().enumerate() {
+//!     assert_eq!(circuit.simulate_u64(x as u64), y);
+//! }
+//! ```
 
 pub mod embed;
 pub mod esop;

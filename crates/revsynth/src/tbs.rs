@@ -63,7 +63,10 @@ pub fn transformation_based_synthesis(perm: &[u64], direction: TbsDirection) -> 
     {
         let mut seen = vec![false; size];
         for &y in perm {
-            assert!((y as usize) < size && !seen[y as usize], "not a permutation");
+            assert!(
+                (y as usize) < size && !seen[y as usize],
+                "not a permutation"
+            );
             seen[y as usize] = true;
         }
     }
@@ -87,7 +90,7 @@ pub fn transformation_based_synthesis(perm: &[u64], direction: TbsDirection) -> 
             }
             TbsDirection::Bidirectional => {
                 let xp = inv[x as usize]; // the input currently mapping to x
-                // Cost proxy: gate count = Hamming distance of the move.
+                                          // Cost proxy: gate count = Hamming distance of the move.
                 if (xp ^ x).count_ones() < (y ^ x).count_ones() {
                     emit_input_side(xp, x, r, &mut fwd, &mut inv, &mut in_gates);
                 } else {

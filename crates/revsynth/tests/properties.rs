@@ -4,10 +4,10 @@
 use proptest::prelude::*;
 use qda_logic::esop::{Esop, MultiEsop};
 use qda_logic::tt::{MultiTruthTable, TruthTable};
+use qda_rev::equiv::{verify_computes, VerifyOptions};
 use qda_revsynth::embed::{bennett_embedding, optimum_embedding};
 use qda_revsynth::esop::{synthesize_esop, EsopSynthOptions};
 use qda_revsynth::tbs::{transformation_based_synthesis, TbsDirection};
-use qda_rev::equiv::{verify_computes, VerifyOptions};
 
 fn arb_perm(r: usize) -> impl Strategy<Value = Vec<u64>> {
     Just(()).prop_perturb(move |(), mut rng| {

@@ -188,7 +188,13 @@ pub fn elaborate(module: &Module) -> Result<Aig, VerilogError> {
             let k: usize = s
                 .iter()
                 .enumerate()
-                .map(|(i, &l)| if l == Lit::TRUE { 1usize << i.min(31) } else { 0 })
+                .map(|(i, &l)| {
+                    if l == Lit::TRUE {
+                        1usize << i.min(31)
+                    } else {
+                        0
+                    }
+                })
                 .sum();
             return if left {
                 words::shl_const(a, k.min(a.len()))
@@ -206,7 +212,14 @@ pub fn elaborate(module: &Module) -> Result<Aig, VerilogError> {
     // Drive all outputs.
     let mut visiting = HashSet::new();
     for sig in &outputs {
-        let word = eval_signal(&sig.name, module, &by_target, &mut aig, &mut env, &mut visiting)?;
+        let word = eval_signal(
+            &sig.name,
+            module,
+            &by_target,
+            &mut aig,
+            &mut env,
+            &mut visiting,
+        )?;
         for &bit in &word {
             aig.add_po(bit);
         }

@@ -218,11 +218,7 @@ mod tests {
         match &toks[1] {
             Token::Number { width, bits } => {
                 assert_eq!(*width, Some(9));
-                let v: u64 = bits
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &b)| (b as u64) << i)
-                    .sum();
+                let v: u64 = bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
                 assert_eq!(v, 256);
             }
             t => panic!("unexpected {t:?}"),
@@ -230,11 +226,7 @@ mod tests {
         match &toks[2] {
             Token::Number { width, bits } => {
                 assert_eq!(*width, Some(8));
-                let v: u64 = bits
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &b)| (b as u64) << i)
-                    .sum();
+                let v: u64 = bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
                 assert_eq!(v, 0xA5);
             }
             t => panic!("unexpected {t:?}"),

@@ -60,7 +60,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, VerilogError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            t => Err(VerilogError::parse(format!("expected identifier, found {t:?}"))),
+            t => Err(VerilogError::parse(format!(
+                "expected identifier, found {t:?}"
+            ))),
         }
     }
 
@@ -225,11 +227,7 @@ impl Parser {
         }
     }
 
-    fn binary_level<F>(
-        &mut self,
-        ops: &[(&str, BinOp)],
-        next: F,
-    ) -> Result<Expr, VerilogError>
+    fn binary_level<F>(&mut self, ops: &[(&str, BinOp)], next: F) -> Result<Expr, VerilogError>
     where
         F: Fn(&mut Self) -> Result<Expr, VerilogError>,
     {
@@ -287,7 +285,10 @@ impl Parser {
     }
 
     fn additive(&mut self) -> Result<Expr, VerilogError> {
-        self.binary_level(&[("+", BinOp::Add), ("-", BinOp::Sub)], Self::multiplicative)
+        self.binary_level(
+            &[("+", BinOp::Add), ("-", BinOp::Sub)],
+            Self::multiplicative,
+        )
     }
 
     fn multiplicative(&mut self) -> Result<Expr, VerilogError> {
@@ -467,9 +468,7 @@ mod tests {
 
     #[test]
     fn error_on_missing_semicolon() {
-        let r = parse_module(
-            "module m(a); input a; assign a = a endmodule",
-        );
+        let r = parse_module("module m(a); input a; assign a = a endmodule");
         assert!(r.is_err());
     }
 

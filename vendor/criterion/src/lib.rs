@@ -1,0 +1,172 @@
+//! Offline stand-in for the subset of the `criterion` crate this
+//! workspace uses.
+//!
+//! A plain wall-clock sampler: every benchmark closure is run
+//! `sample_size` times and the median/mean sample times are printed to
+//! stdout. There is no statistical analysis, warm-up control, or HTML
+//! report — just enough to keep `benches/` compiling and producing
+//! comparable numbers offline. Passing `--test` (as `cargo test --benches`
+//! does) caps sampling at one iteration per benchmark.
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::{black_box, Criterion};
+//!
+//! let mut c = Criterion::default();
+//! let mut group = c.benchmark_group("doc");
+//! group.sample_size(2);
+//! group.bench_with_input(criterion::BenchmarkId::new("square", 7), &7u64, |b, &n| {
+//!     b.iter(|| black_box(n) * black_box(n))
+//! });
+//! group.finish();
+//! ```
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark: a function name plus a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's display convention.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Entry point handed to `criterion_group!` functions.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.sample_size.max(1)
+        };
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b, input);
+            times.push(b.elapsed);
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        println!(
+            "{}/{}: median {:?}, mean {:?} ({} samples)",
+            self.name, id.name, median, mean, samples
+        );
+        self
+    }
+
+    /// Closes the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (criterion batches; the shim does not).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion { test_mode: true };
+        let mut ran = 0u32;
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::new("count", 1), &3u64, |b, &n| {
+            b.iter(|| {
+                ran += 1;
+                n * n
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 1); // test mode caps at one sample
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! Provides [`rngs::StdRng`], [`Rng`] and [`SeedableRng`] backed by a
+//! deterministic SplitMix64 generator. Statistical quality is more than
+//! adequate for randomized simulation and equivalence checking; this is
+//! **not** a cryptographic generator (neither is the use of `StdRng` here).
+//!
+//! # Example
+//!
+//! ```
+//! use rand::{rngs::StdRng, Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let a: u64 = rng.gen();
+//! let b: u64 = rng.gen();
+//! assert_ne!(a, b);
+//! // Same seed, same stream.
+//! assert_eq!(StdRng::seed_from_u64(42).gen::<u64>(), a);
+//! ```
+
+/// Low-level source of random `u64` words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling interface (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the uniform distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64
+    where
+        Self: Sized,
+    {
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seeding interface: construct a generator from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" uniform distribution.
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod rngs {
+    //! Concrete generator types.
+
+    /// Deterministic SplitMix64 generator standing in for `rand`'s
+    /// `StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn bool_and_range_sampling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw = [false; 2];
+        for _ in 0..64 {
+            saw[rng.gen::<bool>() as usize] = true;
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+        assert!(saw[0] && saw[1]);
+    }
+}
