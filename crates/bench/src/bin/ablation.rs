@@ -9,6 +9,8 @@
 //!
 //! Run with: `cargo run --release -p qda-bench --bin ablation`
 
+use qda_bench::results::{BenchResults, BenchRow};
+use qda_bench::runner::{emit_results, parse_args};
 use qda_core::design::Design;
 use qda_core::flow::{EsopFlow, Flow, FunctionalFlow, HierarchicalFlow};
 use qda_core::report::{group_digits, Table};
@@ -17,7 +19,10 @@ use qda_revsynth::hierarchical::CleanupStrategy;
 use qda_revsynth::tbs::TbsDirection;
 
 fn main() {
-    let design = Design::intdiv(7);
+    let args = parse_args();
+    let n = args.sweep(5, 7, 7);
+    let design = Design::intdiv(n);
+    let mut results = BenchResults::new("ablation");
     println!("ablations on {design}\n");
 
     // 1 + 2: exorcism and factoring depth.
@@ -32,6 +37,10 @@ fn main() {
                 flow.exorcism.max_rounds = 0;
             }
             let o = flow.run(&design).expect("esop flow");
+            let label = format!("ESOP p = {p}, exorcism = {exorcism}");
+            let mut row = BenchRow::from_outcome("INTDIV", n, &o);
+            row.flow = label;
+            results.push(row);
             t.add_row(vec![
                 exorcism.to_string(),
                 p.to_string(),
@@ -56,6 +65,12 @@ fn main() {
             let mut flow = HierarchicalFlow::with_strategy(strategy);
             flow.synth.inplace_xor = inplace && strategy == CleanupStrategy::Bennett;
             let o = flow.run(&design).expect("hierarchical flow");
+            let mut row = BenchRow::from_outcome("INTDIV", n, &o);
+            row.flow = format!(
+                "hierarchical {strategy:?}, inplace_xor = {}",
+                flow.synth.inplace_xor
+            );
+            results.push(row);
             t.add_row(vec![
                 format!("{strategy:?}"),
                 flow.synth.inplace_xor.to_string(),
@@ -78,6 +93,9 @@ fn main() {
             ..Default::default()
         };
         let o = flow.run(&design).expect("functional flow");
+        let mut row = BenchRow::from_outcome("INTDIV", n, &o);
+        row.flow = format!("functional TBS {direction:?}");
+        results.push(row);
         t.add_row(vec![
             format!("{direction:?}"),
             o.cost.gates.to_string(),
@@ -105,6 +123,9 @@ fn main() {
             HierarchicalFlow::default().run(&design).expect("flow"),
         ),
     ] {
+        let mut row = BenchRow::from_outcome("INTDIV", n, &outcome);
+        row.flow = format!("cost model: {name}");
+        results.push(row);
         t.add_row(vec![
             name.into(),
             group_digits(outcome.cost.t_count),
@@ -112,4 +133,5 @@ fn main() {
         ]);
     }
     println!("{t}");
+    emit_results(&results);
 }

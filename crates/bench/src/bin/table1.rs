@@ -4,15 +4,21 @@
 //! Default sweep: n ∈ {8, 16, 32}; `--full` adds n = 64.
 
 use qda_arith::{qnewton_circuit, resdiv::resdiv_reciprocal};
-use qda_bench::runner::parse_args;
+use qda_bench::results::{BenchResults, BenchRow};
+use qda_bench::runner::{emit_results, parse_args};
 use qda_core::report::{group_digits, Table};
 
 fn main() {
     let args = parse_args();
-    let mut sizes = vec![8usize, 16, 32];
-    if args.full {
-        sizes.push(64);
+    let mut sizes = vec![8usize];
+    if !args.quick {
+        sizes.push(16);
+        sizes.push(32);
+        if args.full {
+            sizes.push(64);
+        }
     }
+    let mut results = BenchResults::new("table1");
     let mut table = Table::new(
         "TABLE I — baseline results with manual design",
         vec![
@@ -26,6 +32,13 @@ fn main() {
     for n in sizes {
         let resdiv = resdiv_reciprocal(n).circuit.cost();
         let qnewton = qnewton_circuit(n).circuit.cost();
+        results.push(BenchRow::from_cost("RESDIV", n, "manual baseline", &resdiv));
+        results.push(BenchRow::from_cost(
+            "QNEWTON",
+            n,
+            "manual baseline",
+            &qnewton,
+        ));
         table.add_row(vec![
             n.to_string(),
             resdiv.qubits.to_string(),
@@ -36,6 +49,7 @@ fn main() {
         eprintln!("done n = {n}");
     }
     println!("{table}");
+    emit_results(&results);
     println!("paper reference (RESDIV qubits/T, QNEWTON qubits/T):");
     println!("  n=8 : 48 / 8 512      111 / 14 632");
     println!("  n=16: 96 / 34 944     234 / 64 004");

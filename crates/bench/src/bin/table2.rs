@@ -8,15 +8,17 @@
 //! optimality (2n − 1) and the same exponential T-count/runtime growth on
 //! the reachable prefix.
 
-use qda_bench::runner::{parse_args, secs};
+use qda_bench::results::{BenchResults, BenchRow};
+use qda_bench::runner::{emit_results, parse_args, secs};
 use qda_core::design::Design;
 use qda_core::flow::{Flow, FunctionalFlow};
 use qda_core::report::{group_digits, Table};
 
 fn main() {
     let args = parse_args();
-    let max_n = if args.full { 10 } else { 8 };
+    let max_n = args.sweep(4, 8, 10);
     let flow = FunctionalFlow::default();
+    let mut results = BenchResults::new("table2");
     let mut table = Table::new(
         "TABLE II — symbolic functional reversible synthesis",
         vec![
@@ -32,6 +34,8 @@ fn main() {
     for n in 4..=max_n {
         let intdiv = flow.run(&Design::intdiv(n)).expect("INTDIV flow");
         let newton = flow.run(&Design::newton(n)).expect("NEWTON flow");
+        results.push(BenchRow::from_outcome("INTDIV", n, &intdiv));
+        results.push(BenchRow::from_outcome("NEWTON", n, &newton));
         table.add_row(vec![
             n.to_string(),
             intdiv.cost.qubits.to_string(),
@@ -44,6 +48,7 @@ fn main() {
         eprintln!("done n = {n}");
     }
     println!("{table}");
+    emit_results(&results);
     println!("paper reference (INTDIV qubits/T-count): n=4: 7/597  n=8: 15/51 386");
     println!("expected shape: qubits = 2n−1 (optimum embedding), T-count ×~3-5 per bit");
 }

@@ -4,19 +4,24 @@
 //! Default sweep: n ∈ {16, 32}; `--full` adds n = 64 and n = 128 (INTDIV)
 //! like the paper.
 
-use qda_bench::runner::{parse_args, secs};
+use qda_bench::results::{BenchResults, BenchRow};
+use qda_bench::runner::{emit_results, parse_args, secs};
 use qda_core::design::Design;
 use qda_core::flow::{Flow, HierarchicalFlow};
 use qda_core::report::{group_digits, Table};
 
 fn main() {
     let args = parse_args();
-    let mut sizes = vec![16usize, 32];
-    if args.full {
-        sizes.push(64);
-        sizes.push(128);
+    let mut sizes = vec![16usize];
+    if !args.quick {
+        sizes.push(32);
+        if args.full {
+            sizes.push(64);
+            sizes.push(128);
+        }
     }
     let flow = HierarchicalFlow::default();
+    let mut results = BenchResults::new("table4");
     let mut table = Table::new(
         "TABLE IV — hierarchical synthesis",
         vec!["design", "n", "qubits", "T-count", "runtime"],
@@ -31,25 +36,32 @@ fn main() {
         };
         for (design, label) in designs {
             match flow.run(&design) {
-                Ok(o) => table.add_row(vec![
-                    label.into(),
-                    n.to_string(),
-                    o.cost.qubits.to_string(),
-                    group_digits(o.cost.t_count),
-                    secs(o.runtime),
-                ]),
-                Err(e) => table.add_row(vec![
-                    label.into(),
-                    n.to_string(),
-                    "-".into(),
-                    format!("failed: {e}"),
-                    "-".into(),
-                ]),
+                Ok(o) => {
+                    results.push(BenchRow::from_outcome(label, n, &o));
+                    table.add_row(vec![
+                        label.into(),
+                        n.to_string(),
+                        o.cost.qubits.to_string(),
+                        group_digits(o.cost.t_count),
+                        secs(o.runtime),
+                    ]);
+                }
+                Err(e) => {
+                    results.push(BenchRow::failure(label, n, &flow.name(), &e));
+                    table.add_row(vec![
+                        label.into(),
+                        n.to_string(),
+                        "-".into(),
+                        format!("failed: {e}"),
+                        "-".into(),
+                    ]);
+                }
             }
             eprintln!("done {label}({n})");
         }
     }
     println!("{table}");
+    emit_results(&results);
     println!("paper reference (INTDIV qubits/T): n=16: 892/5 607  n=32: 3 501/21 455");
     println!("expected shape: qubits ≫ baseline, T-count ≪ baseline; INTDIV ≪ NEWTON");
 }

@@ -1,0 +1,160 @@
+//! A minimal JSON writer — just enough to serialize bench results.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! structured results layer ships its own writer instead of pulling in
+//! `serde_json`. Output is deterministic: object keys render in insertion
+//! order, floats with fixed precision via [`Json::fixed`].
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+///
+/// # Example
+///
+/// ```
+/// use qda_bench::json::Json;
+///
+/// let v = Json::object([
+///     ("n", Json::Int(4)),
+///     ("flow", Json::from("ESOP")),
+///     ("ok", Json::Bool(true)),
+/// ]);
+/// assert_eq!(v.render(), r#"{"n": 4, "flow": "ESOP", "ok": true}"#);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (counts: gates, qubits, T).
+    Int(u64),
+    /// A pre-formatted decimal number (see [`Json::fixed`]).
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with keys in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+
+impl Json {
+    /// A number with fixed decimal precision (`Json::fixed(1.5, 3)` →
+    /// `1.500`). Fixed formatting keeps output byte-stable across runs of
+    /// equal measurements.
+    pub fn fixed(value: f64, decimals: usize) -> Self {
+        assert!(value.is_finite(), "JSON has no NaN/Inf");
+        Json::Num(format!("{value:.decimals$}"))
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, Json)>>(pairs: I) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the value as a JSON document (single line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(n) => out.push_str(n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(false).render(), "false");
+        assert_eq!(Json::Int(51386).render(), "51386");
+        assert_eq!(Json::fixed(0.5, 3).render(), "0.500");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(Json::from("a\"b\\c\nd").render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::from("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_render_in_order() {
+        let v = Json::object([
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("name", Json::from("table2")),
+        ]);
+        assert_eq!(v.render(), r#"{"rows": [1, 2], "name": "table2"}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_non_finite() {
+        let _ = Json::fixed(f64::NAN, 2);
+    }
+}

@@ -12,7 +12,12 @@
 //! All binaries accept `--full` to extend the sweep toward the paper's
 //! largest instances (minutes to hours, like the original experiments) and
 //! default to a laptop-scale subset that still exhibits every reported
-//! trend.
+//! trend; `--quick` shrinks the sweep to the smallest width (CI smoke).
+//!
+//! Besides the printed table, every binary serializes its rows — gates,
+//! T-count, qubits, runtime, per-stage timings — to `BENCH_<name>.json`
+//! in the working directory (see [`results`]), making the perf trajectory
+//! measurable run-over-run.
 //!
 //! # Example
 //!
@@ -25,4 +30,6 @@
 //! assert_eq!(qda_bench::runner::secs(Duration::from_millis(1230)), "1.23");
 //! ```
 
+pub mod json;
+pub mod results;
 pub mod runner;

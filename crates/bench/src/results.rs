@@ -1,0 +1,255 @@
+//! Structured bench results: every table binary serializes its rows to a
+//! `BENCH_<name>.json` file next to the human-readable table, so the
+//! performance trajectory is machine-readable PR-over-PR.
+//!
+//! File format (one object per file):
+//!
+//! ```json
+//! {
+//!   "bench": "table2",
+//!   "rows": [
+//!     {"design": "INTDIV", "n": 4, "flow": "functional (embedding + TBS)",
+//!      "qubits": 7, "t_count": 597, "gates": 42, "runtime_s": 0.012,
+//!      "stages": {"parse_elaborate_s": 0.001, "optimize_s": 0.002,
+//!                 "synthesis_s": 0.008, "verification_s": 0.001}},
+//!     {"design": "INTDIV", "n": 16, "flow": "functional (embedding + TBS)",
+//!      "error": "instance too large: ..."}
+//!   ]
+//! }
+//! ```
+//!
+//! Counts are integers, durations are seconds with microsecond precision,
+//! and a failed run carries an `error` string instead of the cost fields.
+
+use crate::json::Json;
+use qda_core::flow::{FlowOutcome, StageTimings};
+use std::path::PathBuf;
+
+/// One result row: a (design, flow) data point or its failure.
+#[derive(Clone, Debug)]
+pub struct BenchRow {
+    /// Design family, e.g. `INTDIV`.
+    pub design: String,
+    /// Bitwidth `n`.
+    pub n: usize,
+    /// Flow (or configuration) label.
+    pub flow: String,
+    /// Cost + timing payload, or the failure message.
+    pub data: Result<BenchData, String>,
+}
+
+/// The successful-run payload of a [`BenchRow`].
+#[derive(Clone, Copy, Debug)]
+pub struct BenchData {
+    /// Circuit lines.
+    pub qubits: usize,
+    /// T-count.
+    pub t_count: u64,
+    /// Gate count.
+    pub gates: usize,
+    /// Total runtime in seconds.
+    pub runtime_s: f64,
+    /// Per-stage breakdown, when the producer tracks stages.
+    pub stages: Option<StageTimings>,
+}
+
+impl BenchRow {
+    /// A row from a flow outcome (carries the full stage breakdown).
+    pub fn from_outcome(design: &str, n: usize, outcome: &FlowOutcome) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: outcome.flow_name.clone(),
+            data: Ok(BenchData {
+                qubits: outcome.cost.qubits,
+                t_count: outcome.cost.t_count,
+                gates: outcome.cost.gates,
+                runtime_s: outcome.runtime.as_secs_f64(),
+                stages: Some(outcome.stages),
+            }),
+        }
+    }
+
+    /// A row for a cost measured outside the flow engine (no timings),
+    /// e.g. the Table I manual baselines.
+    pub fn from_cost(
+        design: &str,
+        n: usize,
+        flow: &str,
+        cost: &qda_rev::cost::CircuitCost,
+    ) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: flow.to_string(),
+            data: Ok(BenchData {
+                qubits: cost.qubits,
+                t_count: cost.t_count,
+                gates: cost.gates,
+                runtime_s: 0.0,
+                stages: None,
+            }),
+        }
+    }
+
+    /// A row recording a failed run.
+    pub fn failure(design: &str, n: usize, flow: &str, error: &impl std::fmt::Display) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: flow.to_string(),
+            data: Err(error.to_string()),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("design".to_string(), Json::from(self.design.as_str())),
+            ("n".to_string(), Json::Int(self.n as u64)),
+            ("flow".to_string(), Json::from(self.flow.as_str())),
+        ];
+        match &self.data {
+            Ok(d) => {
+                pairs.push(("qubits".to_string(), Json::Int(d.qubits as u64)));
+                pairs.push(("t_count".to_string(), Json::Int(d.t_count)));
+                pairs.push(("gates".to_string(), Json::Int(d.gates as u64)));
+                pairs.push(("runtime_s".to_string(), Json::fixed(d.runtime_s, 6)));
+                if let Some(stages) = &d.stages {
+                    let secs = |d: std::time::Duration| Json::fixed(d.as_secs_f64(), 6);
+                    pairs.push((
+                        "stages".to_string(),
+                        Json::object([
+                            ("parse_elaborate_s", secs(stages.parse_elaborate)),
+                            ("optimize_s", secs(stages.optimize)),
+                            ("synthesis_s", secs(stages.synthesis)),
+                            ("verification_s", secs(stages.verification)),
+                        ]),
+                    ));
+                }
+            }
+            Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
+        }
+        Json::Obj(pairs)
+    }
+}
+
+/// Accumulates [`BenchRow`]s for one bench binary and writes
+/// `BENCH_<name>.json`.
+///
+/// # Example
+///
+/// ```no_run
+/// use qda_bench::results::{BenchResults, BenchRow};
+///
+/// let mut results = BenchResults::new("table2");
+/// # let outcome: qda_core::flow::FlowOutcome = unimplemented!();
+/// results.push(BenchRow::from_outcome("INTDIV", 4, &outcome));
+/// let path = results.write().expect("writable working directory");
+/// assert_eq!(path.file_name().unwrap(), "BENCH_table2.json");
+/// ```
+#[derive(Clone, Debug)]
+pub struct BenchResults {
+    name: String,
+    rows: Vec<BenchRow>,
+}
+
+impl BenchResults {
+    /// An empty result set for the bench binary `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Number of rows recorded so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no rows were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The serialized document.
+    pub fn to_json(&self) -> String {
+        let mut out = Json::object([
+            ("bench", Json::from(self.name.as_str())),
+            (
+                "rows",
+                Json::Arr(self.rows.iter().map(BenchRow::to_json).collect()),
+            ),
+        ])
+        .render();
+        out.push('\n');
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory and returns
+    /// its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_rows_carry_the_error() {
+        let mut r = BenchResults::new("t");
+        r.push(BenchRow::failure("INTDIV", 16, "functional", &"too big"));
+        let json = r.to_json();
+        assert!(json.contains(r#""error": "too big""#));
+        assert!(!json.contains("qubits"));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn cost_rows_have_counts_but_no_stages() {
+        let mut c = qda_rev::circuit::Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        let mut r = BenchResults::new("table1");
+        r.push(BenchRow::from_cost("RESDIV", 3, "manual", &c.cost()));
+        let json = r.to_json();
+        assert!(json.contains(r#""bench": "table1""#));
+        assert!(json.contains(r#""qubits": 3"#));
+        assert!(json.contains(r#""gates": 1"#));
+        assert!(!json.contains("stages"));
+    }
+
+    #[test]
+    fn outcome_rows_have_a_stage_breakdown() {
+        use qda_core::design::Design;
+        use qda_core::flow::{EsopFlow, Flow};
+        let outcome = EsopFlow::with_factoring(0).run(&Design::intdiv(4)).unwrap();
+        let row = BenchRow::from_outcome("INTDIV", 4, &outcome);
+        let json = BenchResults {
+            name: "x".into(),
+            rows: vec![row],
+        }
+        .to_json();
+        for key in [
+            "parse_elaborate_s",
+            "optimize_s",
+            "synthesis_s",
+            "verification_s",
+            "t_count",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

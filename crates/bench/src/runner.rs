@@ -1,19 +1,53 @@
 //! Shared command-line handling for the table binaries.
 
+use crate::results::BenchResults;
+
 /// Parsed command-line options.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Args {
     /// Extend the sweep toward the paper's largest instances.
     pub full: bool,
+    /// Shrink the sweep to the smallest width (CI smoke runs).
+    pub quick: bool,
 }
 
-/// Parses `--full` from the process arguments.
+/// Parses `--full` / `--quick` from the process arguments.
 pub fn parse_args() -> Args {
-    let full = std::env::args().any(|a| a == "--full");
-    Args { full }
+    let mut args = Args::default();
+    for a in std::env::args() {
+        match a.as_str() {
+            "--full" => args.full = true,
+            "--quick" => args.quick = true,
+            _ => {}
+        }
+    }
+    args
+}
+
+impl Args {
+    /// Picks the sweep ceiling: `quick` when `--quick`, `full` when
+    /// `--full`, `default` otherwise (`--quick` wins if both are given).
+    pub fn sweep(&self, quick: usize, default: usize, full: usize) -> usize {
+        if self.quick {
+            quick
+        } else if self.full {
+            full
+        } else {
+            default
+        }
+    }
 }
 
 /// Formats a `Duration` in seconds with two decimals (the paper's unit).
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64())
+}
+
+/// Writes the structured results file and reports where it went (or why
+/// it could not be written) on stderr.
+pub fn emit_results(results: &BenchResults) {
+    match results.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results file: {e}"),
+    }
 }

@@ -16,7 +16,10 @@ use qda_logic::aig::{Aig, Lit};
 use std::collections::HashMap;
 
 /// Options controlling [`optimize_aig`].
-#[derive(Clone, Copy, Debug)]
+///
+/// `Eq`/`Hash` so the options can key front-end caches (two flows asking
+/// for the same optimization share one optimized AIG).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct OptimizeOptions {
     /// Number of rebuild+balance rounds.
     pub rounds: usize,

@@ -4,7 +4,9 @@
 //! (number of quantum operations), or runtime of the design flow").
 
 use crate::design::Design;
-use crate::flow::{Flow, FlowError, FlowOutcome};
+use crate::flow::{Flow, FlowError, FlowOutcome, FrontendCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Optimization objective for picking a winner.
@@ -16,6 +18,12 @@ pub enum Objective {
     TCount,
     /// Minimize flow runtime (design productivity).
     Runtime,
+}
+
+/// One worker thread per available CPU (at least one) — the default for
+/// [`DesignSpaceExplorer::explore_matrix`] with `workers = 0`.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Runs a set of flows on a design and ranks the outcomes.
@@ -54,15 +62,70 @@ impl DesignSpaceExplorer {
 
     /// Runs every registered flow on `design`, collecting successes and
     /// failures. Returns the number of successful outcomes added.
+    ///
+    /// The shared front end (parse → elaborate → AIG optimization) is
+    /// computed once and reused by every flow that asks for the same
+    /// optimization options.
     pub fn explore(&mut self, design: &Design) -> usize {
+        self.explore_matrix(std::slice::from_ref(design), 1)
+    }
+
+    /// Runs the full flow × design matrix, dispatching jobs over `workers`
+    /// OS threads (`0` means one per available CPU). Returns the number of
+    /// successful outcomes added.
+    ///
+    /// Front ends are shared through a [`FrontendCache`], so each design
+    /// is parsed and optimized once no matter how many flows consume it.
+    /// Results are recorded in deterministic (design-major, then flow
+    /// registration) order — a parallel run reports exactly what a serial
+    /// run does, only sooner.
+    pub fn explore_matrix(&mut self, designs: &[Design], workers: usize) -> usize {
+        let workers = match workers {
+            0 => default_workers(),
+            w => w,
+        };
+        let cache = FrontendCache::new();
+        let flows = &self.flows;
+        let num_jobs = designs.len() * flows.len();
+        type JobResult = Result<FlowOutcome, (String, FlowError)>;
+        let slots: Vec<Mutex<Option<JobResult>>> =
+            (0..num_jobs).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let run_job = |job: usize| {
+            let design = &designs[job / flows.len()];
+            let flow = &flows[job % flows.len()];
+            // Precheck before the cache lookup: an infeasible (design,
+            // flow) pair must not force a front-end computation.
+            let result = flow
+                .precheck(design)
+                .and_then(|()| cache.get_or_compute(design, &flow.frontend_options()))
+                .and_then(|frontend| flow.run_with_frontend(design, &frontend))
+                .map_err(|e| (flow.name(), e));
+            *slots[job].lock().expect("slot lock") = Some(result);
+        };
+        if workers <= 1 {
+            (0..num_jobs).for_each(run_job);
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers.min(num_jobs.max(1)) {
+                    s.spawn(|| loop {
+                        let job = next.fetch_add(1, Ordering::Relaxed);
+                        if job >= num_jobs {
+                            break;
+                        }
+                        run_job(job);
+                    });
+                }
+            });
+        }
         let mut added = 0;
-        for flow in &self.flows {
-            match flow.run(design) {
+        for slot in slots {
+            match slot.into_inner().expect("slot lock").expect("job ran") {
                 Ok(outcome) => {
                     self.outcomes.push(outcome);
                     added += 1;
                 }
-                Err(e) => self.failures.push((flow.name(), e)),
+                Err(failure) => self.failures.push(failure),
             }
         }
         added
@@ -161,5 +224,44 @@ mod tests {
         let added = dse.explore(&Design::intdiv(16)); // too large for TBS
         assert_eq!(added, 0);
         assert_eq!(dse.failures().len(), 1);
+    }
+
+    #[test]
+    fn matrix_order_is_design_major_then_flow() {
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+        dse.add_flow(Box::new(HierarchicalFlow::default()));
+        let designs = [Design::intdiv(4), Design::newton(4)];
+        assert_eq!(dse.explore_matrix(&designs, 2), 4);
+        let got: Vec<(String, String)> = dse
+            .outcomes()
+            .iter()
+            .map(|o| (o.design.name(), o.flow_name.clone()))
+            .collect();
+        assert_eq!(got[0].0, "INTDIV(4)");
+        assert_eq!(got[1].0, "INTDIV(4)");
+        assert_eq!(got[2].0, "NEWTON(4)");
+        assert_eq!(got[3].0, "NEWTON(4)");
+        assert!(got[0].1.contains("ESOP") && got[1].1.contains("hierarchical"));
+        assert!(got[2].1.contains("ESOP") && got[3].1.contains("hierarchical"));
+    }
+
+    #[test]
+    fn matrix_records_failures_in_order_too() {
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(FunctionalFlow::default())); // fails at n = 16
+        dse.add_flow(Box::new(HierarchicalFlow::default()));
+        let added = dse.explore_matrix(&[Design::intdiv(16)], 2);
+        assert_eq!(added, 1);
+        assert_eq!(dse.failures().len(), 1);
+        assert!(dse.failures()[0].0.contains("functional"));
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        assert!(default_workers() >= 1);
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+        assert_eq!(dse.explore_matrix(&[Design::intdiv(4)], 0), 1);
     }
 }

@@ -10,6 +10,12 @@
 //! | [`FunctionalFlow`] | BDD | optimum embedding + TBS | min qubits, huge T |
 //! | [`EsopFlow`] | ESOP | REVS ESOP mode (`p`) | `2n(+p)` qubits, mid T |
 //! | [`HierarchicalFlow`] | XMG | REVS hierarchical | many qubits, min T |
+//!
+//! The shared front end is reified as [`FrontendArtifacts`] so design space
+//! exploration can compute it **once per design** and hand the optimized
+//! AIG to every flow ([`Flow::run_with_frontend`]); a [`FrontendCache`]
+//! memoizes it across flows and worker threads. [`Flow::run`] remains the
+//! self-contained entry point (it computes its own front end).
 
 use crate::design::Design;
 use qda_classical::collapse::{collapse_to_bdds, CollapseError};
@@ -17,6 +23,7 @@ use qda_classical::esop_extract::extract_multi_esop;
 use qda_classical::exorcism::{minimize_esop, ExorcismOptions};
 use qda_classical::rewrite::{optimize_aig, OptimizeOptions};
 use qda_classical::xmg_map::map_to_xmg;
+use qda_logic::aig::Aig;
 use qda_rev::circuit::Circuit;
 use qda_rev::cost::CircuitCost;
 use qda_rev::equiv::{verify_computes, VerifyOptions, VerifyOutcome};
@@ -25,7 +32,9 @@ use qda_revsynth::esop::{synthesize_esop, EsopSynthOptions};
 use qda_revsynth::hierarchical::{synthesize_xmg, CleanupStrategy, HierarchicalOptions};
 use qda_revsynth::tbs::{transformation_based_synthesis, TbsDirection};
 use qda_verilog::VerilogError;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Failure of a design flow.
@@ -75,6 +84,32 @@ impl From<CollapseError> for FlowError {
     }
 }
 
+/// Wall-clock breakdown of one flow run, stage by stage.
+///
+/// The first two stages are the shared front end; when the run consumed a
+/// cached [`FrontendArtifacts`], they report the time the front end took
+/// when it was *computed*, so the breakdown of a cached run matches a
+/// cold run of the same flow.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Verilog parse + elaboration into an AIG.
+    pub parse_elaborate: Duration,
+    /// AIG optimization (`dc2` stand-in).
+    pub optimize: Duration,
+    /// Flow-specific synthesis (collapse/exorcism/mapping + reversible
+    /// synthesis).
+    pub synthesis: Duration,
+    /// Equivalence check of the synthesized circuit.
+    pub verification: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages — the flow's total runtime.
+    pub fn total(&self) -> Duration {
+        self.parse_elaborate + self.optimize + self.synthesis + self.verification
+    }
+}
+
 /// Result of running a flow on a design: the paper's per-row data
 /// (qubits, T-count, runtime) plus the circuit itself.
 #[derive(Clone, Debug)]
@@ -91,25 +126,173 @@ pub struct FlowOutcome {
     pub output_lines: Vec<usize>,
     /// Cost summary (qubits, T-count, gate counts).
     pub cost: CircuitCost,
-    /// Wall-clock flow runtime.
+    /// Wall-clock flow runtime (sum of [`FlowOutcome::stages`]).
     pub runtime: Duration,
+    /// Per-stage runtime breakdown.
+    pub stages: StageTimings,
     /// Verification verdict (always a success variant; failures abort the
     /// flow with [`FlowError::VerificationFailed`]).
     pub verification: VerifyOutcome,
 }
 
-/// A design flow: Verilog design in, verified reversible circuit out.
-pub trait Flow {
-    /// Human-readable flow name (used in reports).
-    fn name(&self) -> String;
+/// The shared front end of every flow: the optimized AIG of a design,
+/// plus how long each front-end stage took to compute.
+///
+/// # Example
+///
+/// ```
+/// use qda_core::design::Design;
+/// use qda_core::flow::{compute_frontend, EsopFlow, Flow};
+/// use qda_classical::rewrite::OptimizeOptions;
+///
+/// let design = Design::intdiv(5);
+/// let frontend = compute_frontend(&design, &OptimizeOptions::default())?;
+/// let flow = EsopFlow::with_factoring(0);
+/// let outcome = flow.run_with_frontend(&design, &frontend)?;
+/// assert_eq!(outcome.cost.qubits, 10);
+/// # Ok::<(), qda_core::flow::FlowError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct FrontendArtifacts {
+    /// The optimized AIG every flow consumes.
+    pub aig: Aig,
+    /// Time spent parsing + elaborating the Verilog.
+    pub parse_elaborate: Duration,
+    /// Time spent optimizing the AIG.
+    pub optimize: Duration,
+}
 
-    /// Runs the flow.
+/// Runs the shared front end (parse → elaborate → AIG optimization) on a
+/// design.
+///
+/// # Errors
+///
+/// Propagates Verilog parser/elaborator failures as
+/// [`FlowError::Frontend`].
+pub fn compute_frontend(
+    design: &Design,
+    options: &OptimizeOptions,
+) -> Result<FrontendArtifacts, FlowError> {
+    let start = Instant::now();
+    let aig = design.to_aig()?;
+    let parse_elaborate = start.elapsed();
+    let start = Instant::now();
+    let aig = optimize_aig(&aig, options);
+    let optimize = start.elapsed();
+    Ok(FrontendArtifacts {
+        aig,
+        parse_elaborate,
+        optimize,
+    })
+}
+
+/// One cache slot: a per-key lock around the (eventually) computed
+/// artifacts, so concurrent misses coalesce instead of duplicating work.
+type CacheSlot = Arc<Mutex<Option<Arc<FrontendArtifacts>>>>;
+
+/// Memoizes [`FrontendArtifacts`] per (design, optimization options), so
+/// a flow×design matrix runs the front end once per design instead of
+/// once per flow. Shareable across threads (`&FrontendCache` is enough).
+#[derive(Debug, Default)]
+pub struct FrontendCache {
+    entries: Mutex<HashMap<(Design, OptimizeOptions), CacheSlot>>,
+}
+
+impl FrontendCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached front end for the design, computing it on a
+    /// miss. Each key is computed at most once at a time: a concurrent
+    /// miss blocks on the first computation and then shares its result,
+    /// so worker threads never duplicate a front end.
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError`] when the design cannot be processed (frontend
-    /// failure, resource blow-up) or the result fails verification.
-    fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError>;
+    /// Propagates [`compute_frontend`] failures (not cached — a frontend
+    /// failure is a generator bug, not a steady state).
+    pub fn get_or_compute(
+        &self,
+        design: &Design,
+        options: &OptimizeOptions,
+    ) -> Result<Arc<FrontendArtifacts>, FlowError> {
+        let slot: CacheSlot = {
+            let mut entries = self.entries.lock().expect("cache lock");
+            Arc::clone(entries.entry((*design, *options)).or_default())
+        };
+        let mut guard = slot.lock().expect("slot lock");
+        if let Some(hit) = guard.as_ref() {
+            return Ok(Arc::clone(hit));
+        }
+        let computed = Arc::new(compute_frontend(design, options)?);
+        *guard = Some(Arc::clone(&computed));
+        Ok(computed)
+    }
+
+    /// Number of computed front ends in the cache.
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .values()
+            .filter(|slot| slot.lock().expect("slot lock").is_some())
+            .count()
+    }
+
+    /// Whether no front end has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A design flow: Verilog design in, verified reversible circuit out.
+///
+/// `Send + Sync` so a set of flows can be dispatched across worker
+/// threads (the implementations are plain option structs).
+pub trait Flow: Send + Sync {
+    /// Human-readable flow name (used in reports).
+    fn name(&self) -> String;
+
+    /// The AIG optimization options this flow wants the shared front end
+    /// run with (used as the [`FrontendCache`] key).
+    fn frontend_options(&self) -> OptimizeOptions;
+
+    /// Cheap feasibility check, run before any front-end work is spent on
+    /// the design (e.g. the explicit-permutation size guard of
+    /// [`FunctionalFlow`]). The default accepts everything.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`FlowError`] a full run would fail with.
+    fn precheck(&self, design: &Design) -> Result<(), FlowError> {
+        let _ = design;
+        Ok(())
+    }
+
+    /// Runs the back half of the flow on a precomputed front end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when the design cannot be processed
+    /// (resource blow-up) or the result fails verification.
+    fn run_with_frontend(
+        &self,
+        design: &Design,
+        frontend: &FrontendArtifacts,
+    ) -> Result<FlowOutcome, FlowError>;
+
+    /// Runs the full flow, computing its own front end.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flow::run_with_frontend`], plus front-end failures.
+    fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError> {
+        self.precheck(design)?;
+        let frontend = compute_frontend(design, &self.frontend_options())?;
+        self.run_with_frontend(design, &frontend)
+    }
 }
 
 /// Verifies a circuit against the design AIG and assembles the outcome.
@@ -120,16 +303,19 @@ fn finish(
     circuit: Circuit,
     input_lines: Vec<usize>,
     output_lines: Vec<usize>,
-    aig: &qda_logic::aig::Aig,
-    start: Instant,
+    frontend: &FrontendArtifacts,
+    synthesis_start: Instant,
     check_clean: bool,
 ) -> Result<FlowOutcome, FlowError> {
+    let synthesis = synthesis_start.elapsed();
+    let aig = &frontend.aig;
     let options = VerifyOptions {
         exhaustive_limit: 11,
         random_samples: 128,
         check_ancilla_clean: check_clean,
         check_inputs_preserved: check_clean,
     };
+    let verification_start = Instant::now();
     // The simulation harness reads I/O through 64-bit registers; the
     // paper's largest instance (n = 128) exceeds that, so verification is
     // skipped there (the construction is the same as for verified sizes).
@@ -149,6 +335,12 @@ fn finish(
             outcome: verification,
         });
     }
+    let stages = StageTimings {
+        parse_elaborate: frontend.parse_elaborate,
+        optimize: frontend.optimize,
+        synthesis,
+        verification: verification_start.elapsed(),
+    };
     let cost = circuit.cost();
     Ok(FlowOutcome {
         design: *design,
@@ -157,7 +349,8 @@ fn finish(
         input_lines,
         output_lines,
         cost,
-        runtime: start.elapsed(),
+        runtime: stages.total(),
+        stages,
         verification,
     })
 }
@@ -195,23 +388,25 @@ impl Flow for FunctionalFlow {
         "functional (embedding + TBS)".into()
     }
 
-    fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError> {
+    fn frontend_options(&self) -> OptimizeOptions {
+        self.optimize
+    }
+
+    fn precheck(&self, design: &Design) -> Result<(), FlowError> {
+        self.check_size(design)
+    }
+
+    fn run_with_frontend(
+        &self,
+        design: &Design,
+        frontend: &FrontendArtifacts,
+    ) -> Result<FlowOutcome, FlowError> {
+        self.check_size(design)?;
         let start = Instant::now();
         let n = design.bits();
-        if 2 * n - 1 > self.max_lines {
-            return Err(FlowError::TooLarge {
-                reason: format!(
-                    "embedded reciprocal needs ~{} lines, explicit TBS capped at {}",
-                    2 * n - 1,
-                    self.max_lines
-                ),
-            });
-        }
-        let aig = design.to_aig()?;
-        let aig = optimize_aig(&aig, &self.optimize);
         // "collapse": the explicit truth table is the BDD's semantics; the
         // embedding enumerates it either way.
-        let tts = aig.to_truth_tables();
+        let tts = frontend.aig.to_truth_tables();
         let embedding = optimum_embedding(&tts);
         let circuit = transformation_based_synthesis(embedding.permutation(), self.direction);
         let m = embedding.num_outputs();
@@ -225,10 +420,28 @@ impl Flow for FunctionalFlow {
             circuit,
             input_lines,
             output_lines,
-            &aig,
+            frontend,
             start,
             false,
         )
+    }
+}
+
+impl FunctionalFlow {
+    /// Rejects instances beyond the explicit-permutation guard before any
+    /// work is spent on them.
+    fn check_size(&self, design: &Design) -> Result<(), FlowError> {
+        let n = design.bits();
+        if 2 * n - 1 > self.max_lines {
+            return Err(FlowError::TooLarge {
+                reason: format!(
+                    "embedded reciprocal needs ~{} lines, explicit TBS capped at {}",
+                    2 * n - 1,
+                    self.max_lines
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -272,11 +485,17 @@ impl Flow for EsopFlow {
         format!("ESOP (REVS, p = {})", self.synth.factoring_passes)
     }
 
-    fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError> {
+    fn frontend_options(&self) -> OptimizeOptions {
+        self.optimize
+    }
+
+    fn run_with_frontend(
+        &self,
+        design: &Design,
+        frontend: &FrontendArtifacts,
+    ) -> Result<FlowOutcome, FlowError> {
         let start = Instant::now();
-        let aig = design.to_aig()?;
-        let aig = optimize_aig(&aig, &self.optimize);
-        let (mut mgr, bdds) = collapse_to_bdds(&aig, self.bdd_node_limit)?;
+        let (mut mgr, bdds) = collapse_to_bdds(&frontend.aig, self.bdd_node_limit)?;
         let mut esop = extract_multi_esop(&mut mgr, &bdds);
         minimize_esop(&mut esop, &self.exorcism);
         let synthesis = synthesize_esop(&esop, &self.synth);
@@ -286,7 +505,7 @@ impl Flow for EsopFlow {
             synthesis.circuit,
             synthesis.input_lines,
             synthesis.output_lines,
-            &aig,
+            frontend,
             start,
             true,
         )
@@ -330,11 +549,17 @@ impl Flow for HierarchicalFlow {
         format!("hierarchical (XMG, {:?})", self.synth.strategy)
     }
 
-    fn run(&self, design: &Design) -> Result<FlowOutcome, FlowError> {
+    fn frontend_options(&self) -> OptimizeOptions {
+        self.optimize
+    }
+
+    fn run_with_frontend(
+        &self,
+        design: &Design,
+        frontend: &FrontendArtifacts,
+    ) -> Result<FlowOutcome, FlowError> {
         let start = Instant::now();
-        let aig = design.to_aig()?;
-        let aig = optimize_aig(&aig, &self.optimize);
-        let xmg = map_to_xmg(&aig);
+        let xmg = map_to_xmg(&frontend.aig);
         let synthesis = synthesize_xmg(&xmg, &self.synth);
         let check_clean = self.synth.strategy != CleanupStrategy::KeepGarbage;
         finish(
@@ -343,7 +568,7 @@ impl Flow for HierarchicalFlow {
             synthesis.circuit,
             synthesis.input_lines,
             synthesis.output_lines,
-            &aig,
+            frontend,
             start,
             check_clean,
         )
@@ -435,6 +660,65 @@ mod tests {
         let outcome = EsopFlow::with_factoring(0).run(&Design::newton(4)).unwrap();
         assert_eq!(outcome.cost.qubits, 8);
         assert_eq!(outcome.verification, VerifyOutcome::Verified);
+    }
+
+    #[test]
+    fn frontend_cache_computes_once_per_key() {
+        let cache = FrontendCache::new();
+        let design = Design::intdiv(4);
+        let opts = OptimizeOptions::default();
+        let a = cache.get_or_compute(&design, &opts).unwrap();
+        let b = cache.get_or_compute(&design, &opts).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(cache.len(), 1);
+        let other = OptimizeOptions {
+            rounds: 1,
+            ..OptimizeOptions::default()
+        };
+        cache.get_or_compute(&design, &other).unwrap();
+        assert_eq!(cache.len(), 2, "different options are a different key");
+    }
+
+    #[test]
+    fn cached_frontend_reproduces_cold_run() {
+        let design = Design::intdiv(5);
+        let flow = EsopFlow::with_factoring(0);
+        let cold = flow.run(&design).unwrap();
+        let frontend = compute_frontend(&design, &flow.frontend_options()).unwrap();
+        let warm = flow.run_with_frontend(&design, &frontend).unwrap();
+        assert_eq!(warm.circuit, cold.circuit);
+        assert_eq!(warm.cost.qubits, cold.cost.qubits);
+        assert_eq!(warm.cost.t_count, cold.cost.t_count);
+    }
+
+    #[test]
+    fn stage_timings_sum_to_runtime() {
+        let outcome = HierarchicalFlow::default().run(&Design::intdiv(4)).unwrap();
+        assert_eq!(outcome.runtime, outcome.stages.total());
+        assert!(outcome.stages.synthesis > Duration::ZERO);
+    }
+
+    #[test]
+    fn precheck_rejects_before_frontend_work() {
+        let flow = FunctionalFlow::default();
+        assert!(matches!(
+            flow.precheck(&Design::intdiv(16)),
+            Err(FlowError::TooLarge { .. })
+        ));
+        assert!(flow.precheck(&Design::intdiv(4)).is_ok());
+        // Flows without a guard accept everything.
+        assert!(HierarchicalFlow::default()
+            .precheck(&Design::intdiv(128))
+            .is_ok());
+    }
+
+    #[test]
+    fn functional_flow_rejects_large_instances_with_frontend() {
+        let design = Design::intdiv(16);
+        let frontend =
+            compute_frontend(&design, &OptimizeOptions::default()).expect("frontend itself is ok");
+        let r = FunctionalFlow::default().run_with_frontend(&design, &frontend);
+        assert!(matches!(r, Err(FlowError::TooLarge { .. })));
     }
 
     #[test]

@@ -35,5 +35,8 @@ pub mod flow;
 pub mod report;
 
 pub use design::Design;
-pub use dse::{DesignSpaceExplorer, Objective};
-pub use flow::{EsopFlow, Flow, FlowError, FlowOutcome, FunctionalFlow, HierarchicalFlow};
+pub use dse::{default_workers, DesignSpaceExplorer, Objective};
+pub use flow::{
+    compute_frontend, EsopFlow, Flow, FlowError, FlowOutcome, FrontendArtifacts, FrontendCache,
+    FunctionalFlow, HierarchicalFlow, StageTimings,
+};

@@ -56,6 +56,43 @@ impl Table {
             format!("{:.2}", outcome.runtime.as_secs_f64()),
         ]
     }
+
+    /// Renders the per-stage timing breakdown of a [`FlowOutcome`]:
+    /// flow name, then seconds for parse+elaborate, optimize, synthesis,
+    /// verification, and the total.
+    pub fn stage_row(outcome: &FlowOutcome) -> Vec<String> {
+        let s = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
+        vec![
+            outcome.flow_name.clone(),
+            s(outcome.stages.parse_elaborate),
+            s(outcome.stages.optimize),
+            s(outcome.stages.synthesis),
+            s(outcome.stages.verification),
+            s(outcome.stages.total()),
+        ]
+    }
+}
+
+/// A timing-free exploration report: one line per outcome, in exploration
+/// order, listing design, flow, qubits, T-count and gate count.
+///
+/// Deliberately excludes wall-clock figures so a parallel
+/// [`crate::dse::DesignSpaceExplorer::explore_matrix`] run renders
+/// **byte-identical** to a serial run of the same matrix — the
+/// determinism contract the regression tests pin down.
+pub fn deterministic_report(outcomes: &[FlowOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&format!(
+            "{} | {} | qubits {} | T {} | gates {}\n",
+            o.design.name(),
+            o.flow_name,
+            o.cost.qubits,
+            group_digits(o.cost.t_count),
+            o.cost.gates,
+        ));
+    }
+    out
 }
 
 /// Formats an integer with thin thousand groups, as the paper prints

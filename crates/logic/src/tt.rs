@@ -11,6 +11,41 @@
 use std::fmt;
 use std::ops::{BitAnd, BitOr, BitXor, Not};
 
+/// Error from parsing a textual truth table ([`TruthTable::from_binary_str`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParseTtError {
+    /// The string length is not a power of two (or exceeds `2^MAX_VARS`).
+    BadLength(usize),
+    /// A character other than `0`/`1` at the given byte offset.
+    BadChar {
+        /// 0-based offset of the offending character.
+        index: usize,
+        /// The character found.
+        ch: char,
+    },
+}
+
+impl fmt::Display for ParseTtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTtError::BadLength(len) => {
+                write!(
+                    f,
+                    "truth table length {len} is not a power of two ≤ 2^{MAX_VARS}"
+                )
+            }
+            ParseTtError::BadChar { index, ch } => {
+                write!(
+                    f,
+                    "invalid character {ch:?} at offset {index} (expected 0 or 1)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseTtError {}
+
 /// Maximum number of variables supported by explicit truth tables.
 ///
 /// `2^24` bits = 2 MiB per table; enough for every experiment in the paper
@@ -143,13 +178,30 @@ impl TruthTable {
     /// conventional in logic-synthesis literature (`"1000"` is AND of two
     /// variables).
     ///
-    /// # Panics
+    /// # Example
     ///
-    /// Panics if the length is not a power of two or contains characters
-    /// other than `0`/`1`.
-    pub fn from_binary_str(s: &str) -> Self {
+    /// ```
+    /// use qda_logic::tt::{ParseTtError, TruthTable};
+    ///
+    /// let and = TruthTable::from_binary_str("1000")?;
+    /// assert_eq!(and.count_ones(), 1);
+    /// assert!(matches!(
+    ///     TruthTable::from_binary_str("10x0"),
+    ///     Err(ParseTtError::BadChar { index: 2, ch: 'x' })
+    /// ));
+    /// # Ok::<(), ParseTtError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTtError`] if the length is not a power of two (at
+    /// most `2^MAX_VARS`) or the string contains characters other than
+    /// `0`/`1`.
+    pub fn from_binary_str(s: &str) -> Result<Self, ParseTtError> {
         let len = s.len();
-        assert!(len.is_power_of_two(), "length must be a power of two");
+        if !len.is_power_of_two() || len > 1 << MAX_VARS {
+            return Err(ParseTtError::BadLength(len));
+        }
         let num_vars = len.trailing_zeros() as usize;
         let mut t = Self::zero(num_vars);
         for (i, c) in s.chars().enumerate() {
@@ -157,10 +209,10 @@ impl TruthTable {
             match c {
                 '1' => t.set(idx, true),
                 '0' => {}
-                _ => panic!("invalid character {c:?} in truth table"),
+                _ => return Err(ParseTtError::BadChar { index: i, ch: c }),
             }
         }
-        t
+        Ok(t)
     }
 
     fn normalize(&mut self) {
@@ -533,10 +585,28 @@ mod tests {
 
     #[test]
     fn binary_string_round_trip() {
-        let t = TruthTable::from_binary_str("1000");
+        let t = TruthTable::from_binary_str("1000").unwrap();
         assert!(t.get(3));
         assert_eq!(t.count_ones(), 1);
         assert_eq!(t.to_string(), "1000");
+    }
+
+    #[test]
+    fn binary_string_rejects_bad_input() {
+        assert_eq!(
+            TruthTable::from_binary_str("101"),
+            Err(ParseTtError::BadLength(3))
+        );
+        assert_eq!(
+            TruthTable::from_binary_str(""),
+            Err(ParseTtError::BadLength(0))
+        );
+        assert_eq!(
+            TruthTable::from_binary_str("10z0"),
+            Err(ParseTtError::BadChar { index: 2, ch: 'z' })
+        );
+        let e = TruthTable::from_binary_str("abcd").unwrap_err();
+        assert!(e.to_string().contains("'a'"));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use proptest::prelude::*;
 use qda_rev::blocks::{cuccaro_add, cuccaro_sub, multiply_add};
 use qda_rev::circuit::Circuit;
 use qda_rev::gate::{Control, Gate};
+use qda_rev::io::{from_real, to_real};
 use qda_rev::state::BitState;
 
 /// A random but valid gate on `lines` lines.
@@ -57,6 +58,24 @@ proptest! {
         let mut s = BitState::from_u64(6, x);
         c.apply(&mut s);
         prop_assert_eq!(s.to_u64(), c.simulate_u64(x));
+    }
+
+    #[test]
+    fn real_round_trip_is_identity(c in arb_circuit(6, 24)) {
+        // to_real emits controls sorted (the Gate invariant), so the
+        // parsed circuit is structurally identical, not just equivalent.
+        let back = from_real(&to_real(&c)).expect("own output must parse");
+        prop_assert_eq!(&back, &c);
+    }
+
+    #[test]
+    fn real_round_trip_preserves_semantics_on_random_circuits(
+        c in arb_circuit(7, 32),
+        x in 0u64..128,
+    ) {
+        let back = from_real(&to_real(&c)).expect("own output must parse");
+        prop_assert_eq!(back.num_lines(), c.num_lines());
+        prop_assert_eq!(back.simulate_u64(x), c.simulate_u64(x));
     }
 
     #[test]
