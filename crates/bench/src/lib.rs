@@ -7,7 +7,9 @@
 //! * `table3` — REVS ESOP synthesis, `p ∈ {0, 1}` (Table III),
 //! * `table4` — hierarchical synthesis (Table IV),
 //! * `figure1` — the design-flow graph (Fig. 1) plus a live DSE demo,
-//! * `ablation` — the design-choice ablations DESIGN.md calls out.
+//! * `ablation` — the design-choice ablations DESIGN.md calls out,
+//! * `verify_bench` — scalar replay vs bit-parallel batch simulation
+//!   throughput on the reversible arithmetic blocks.
 //!
 //! All binaries accept `--full` to extend the sweep toward the paper's
 //! largest instances (minutes to hours, like the original experiments) and

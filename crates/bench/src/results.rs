@@ -20,6 +20,16 @@
 //!
 //! Counts are integers, durations are seconds with microsecond precision,
 //! and a failed run carries an `error` string instead of the cost fields.
+//!
+//! Throughput benches (`verify_bench`) reuse the same row shape with the
+//! engine name in `flow` and an extra `states_per_sec` field
+//! (gates·states/sec is `states_per_sec × gates`):
+//!
+//! ```json
+//! {"design": "CUCCARO-ADD", "n": 24, "flow": "batch (64-way)",
+//!  "qubits": 50, "t_count": 0, "gates": 145, "runtime_s": 0.004,
+//!  "states_per_sec": 16384000.0}
+//! ```
 
 use crate::json::Json;
 use qda_core::flow::{FlowOutcome, StageTimings};
@@ -51,6 +61,9 @@ pub struct BenchData {
     pub runtime_s: f64,
     /// Per-stage breakdown, when the producer tracks stages.
     pub stages: Option<StageTimings>,
+    /// Simulation throughput in states/second, for throughput benches
+    /// (`verify_bench`); gates·states/sec is `states_per_sec × gates`.
+    pub states_per_sec: Option<f64>,
 }
 
 impl BenchRow {
@@ -66,6 +79,7 @@ impl BenchRow {
                 gates: outcome.cost.gates,
                 runtime_s: outcome.runtime.as_secs_f64(),
                 stages: Some(outcome.stages),
+                states_per_sec: None,
             }),
         }
     }
@@ -88,6 +102,34 @@ impl BenchRow {
                 gates: cost.gates,
                 runtime_s: 0.0,
                 stages: None,
+                states_per_sec: None,
+            }),
+        }
+    }
+
+    /// A row for a simulation-throughput measurement (`verify_bench`):
+    /// `states` inputs replayed through a `gates`-gate circuit on
+    /// `qubits` lines in `runtime_s` seconds by `engine`.
+    pub fn from_throughput(
+        design: &str,
+        n: usize,
+        engine: &str,
+        qubits: usize,
+        gates: usize,
+        states: u64,
+        runtime_s: f64,
+    ) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: engine.to_string(),
+            data: Ok(BenchData {
+                qubits,
+                t_count: 0,
+                gates,
+                runtime_s,
+                stages: None,
+                states_per_sec: Some(states as f64 / runtime_s.max(f64::EPSILON)),
             }),
         }
     }
@@ -125,6 +167,9 @@ impl BenchRow {
                             ("verification_s", secs(stages.verification)),
                         ]),
                     ));
+                }
+                if let Some(sps) = d.states_per_sec {
+                    pairs.push(("states_per_sec".to_string(), Json::fixed(sps, 1)));
                 }
             }
             Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
@@ -228,6 +273,25 @@ mod tests {
         assert!(json.contains(r#""bench": "table1""#));
         assert!(json.contains(r#""qubits": 3"#));
         assert!(json.contains(r#""gates": 1"#));
+        assert!(!json.contains("stages"));
+    }
+
+    #[test]
+    fn throughput_rows_carry_states_per_sec() {
+        let mut r = BenchResults::new("verify");
+        r.push(BenchRow::from_throughput(
+            "CUCCARO-ADD",
+            24,
+            "batch (64-way)",
+            50,
+            145,
+            1 << 20,
+            0.5,
+        ));
+        let json = r.to_json();
+        assert!(json.contains(r#""bench": "verify""#));
+        assert!(json.contains(r#""states_per_sec": 2097152.0"#));
+        assert!(json.contains(r#""gates": 145"#));
         assert!(!json.contains("stages"));
     }
 

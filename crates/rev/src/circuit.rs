@@ -1,5 +1,6 @@
 //! Reversible circuits: cascades of MPMCT gates on a fixed set of lines.
 
+use crate::batchsim::{consecutive_batches, BatchState};
 use crate::cost::CircuitCost;
 use crate::gate::{Control, Gate};
 use crate::state::BitState;
@@ -143,12 +144,55 @@ impl Circuit {
         self.gates.iter().fold(input, |s, g| g.apply_u64(s))
     }
 
-    /// The permutation the circuit realizes over all `2^n` basis states
-    /// (`n ≤ 24` sensible).
+    /// Simulates the circuit on a batch of states (in place), applying
+    /// each gate to all states at once via the transposed bit-parallel
+    /// representation of [`BatchState`].
+    pub fn apply_batch(&self, state: &mut BatchState) {
+        for g in &self.gates {
+            state.apply(g);
+        }
+    }
+
+    /// Simulates many ≤64-line input words at once with the bit-parallel
+    /// engine, returning one output word per input (in input order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 64 lines.
+    pub fn simulate_batch(&self, inputs: &[u64]) -> Vec<u64> {
+        assert!(self.num_lines <= 64, "too many lines for u64 simulation");
+        if inputs.is_empty() {
+            return Vec::new();
+        }
+        let all_lines: Vec<usize> = (0..self.num_lines).collect();
+        let mut state = BatchState::zeros(self.num_lines, inputs.len());
+        state.load_register(&all_lines, inputs);
+        self.apply_batch(&mut state);
+        state.read_register(&all_lines)
+    }
+
+    /// The permutation the circuit realizes over all `2^n` basis states,
+    /// computed in bit-parallel batches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more than 24 lines: the explicit table
+    /// would not fit in memory, and for ≥ 64 lines the `2^n` size
+    /// computation would silently wrap in release builds (returning a
+    /// one-entry "permutation" at exactly 64 lines).
     pub fn permutation(&self) -> Vec<u64> {
-        (0..(1u64 << self.num_lines))
-            .map(|x| self.simulate_u64(x))
-            .collect()
+        assert!(
+            self.num_lines <= 24,
+            "permutation(): circuit has {} lines; the explicit table is capped at 24 lines \
+             (use simulate_batch / verify against an oracle instead)",
+            self.num_lines
+        );
+        let size = 1u64 << self.num_lines;
+        let mut perm = Vec::with_capacity(size as usize);
+        for inputs in consecutive_batches(size) {
+            perm.extend(self.simulate_batch(&inputs));
+        }
+        perm
     }
 
     /// Cost summary.
@@ -190,18 +234,25 @@ impl fmt::Display for Circuit {
 /// ```
 #[derive(Clone, Debug)]
 pub struct LineAllocator {
+    reserved: usize,
     next: usize,
     high_water: usize,
     free: Vec<usize>,
+    /// `in_free[line - reserved]`: whether the line currently sits in the
+    /// free pool. Backs the O(1) double-release check in
+    /// [`LineAllocator::release`].
+    in_free: Vec<bool>,
 }
 
 impl LineAllocator {
     /// Creates an allocator whose first fresh line is `reserved`.
     pub fn new(reserved: usize) -> Self {
         Self {
+            reserved,
             next: reserved,
             high_water: reserved,
             free: Vec::new(),
+            in_free: Vec::new(),
         }
     }
 
@@ -209,10 +260,12 @@ impl LineAllocator {
     /// free list only when they are restored to zero).
     pub fn alloc(&mut self) -> usize {
         if let Some(l) = self.free.pop() {
+            self.in_free[l - self.reserved] = false;
             return l;
         }
         let l = self.next;
         self.next += 1;
+        self.in_free.push(false);
         self.high_water = self.high_water.max(self.next);
         l
     }
@@ -223,8 +276,26 @@ impl LineAllocator {
     }
 
     /// Returns a clean (zero) line to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in every build profile — on a double release or on
+    /// releasing a line this allocator never produced. Either would hand
+    /// the same "clean" ancilla to two owners later, silently synthesizing
+    /// aliased, wrong circuits.
     pub fn release(&mut self, line: usize) {
-        debug_assert!(!self.free.contains(&line), "double release of {line}");
+        assert!(
+            line >= self.reserved && line < self.next,
+            "release of line {line}, which this allocator never produced \
+             (fresh lines are {}..{})",
+            self.reserved,
+            self.next
+        );
+        assert!(
+            !self.in_free[line - self.reserved],
+            "double release of line {line}: it would be handed out to two owners"
+        );
+        self.in_free[line - self.reserved] = true;
         self.free.push(line);
     }
 

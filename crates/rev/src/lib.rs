@@ -6,7 +6,8 @@
 //! * [`gate::Gate`] / [`circuit::Circuit`] — the reversible-circuit IR all
 //!   synthesis back-ends emit,
 //! * [`cost`] — T-count and qubit accounting (the paper's two cost axes),
-//! * [`state`] / [`equiv`] — bit-exact simulation and equivalence checking
+//! * [`state`] / [`batchsim`] / [`equiv`] — bit-exact scalar and 64-way
+//!   bit-parallel simulation, and equivalence checking on top of them
 //!   (the role ABC `cec` plays in the paper),
 //! * [`blocks`] — hand-crafted reversible arithmetic (Cuccaro ripple-carry
 //!   adder, controlled adders, comparators, shift-and-add multipliers) used
@@ -23,6 +24,7 @@
 //! assert_eq!(c.simulate_u64(0b011), 0b101); // target flips, then b ^= a
 //! ```
 
+pub mod batchsim;
 pub mod blocks;
 pub mod circuit;
 pub mod cost;
@@ -32,6 +34,7 @@ pub mod gate;
 pub mod io;
 pub mod state;
 
+pub use batchsim::BatchState;
 pub use circuit::{Circuit, LineAllocator};
 pub use cost::CircuitCost;
 pub use gate::{Control, Gate};

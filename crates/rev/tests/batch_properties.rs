@@ -1,0 +1,165 @@
+//! Property tests pinning the bit-parallel batch simulator bit-exactly
+//! against scalar `BitState` replay: random MPMCT circuits with mixed
+//! polarities, beyond 64 lines (multi-word scalar states) and beyond 64
+//! states (multi-word lanes), plus outcome-identity of the two
+//! `verify_computes` engines including the reported witness.
+
+use proptest::prelude::*;
+use qda_rev::batchsim::BatchState;
+use qda_rev::circuit::Circuit;
+use qda_rev::equiv::{verify_computes, VerifyOptions};
+use qda_rev::gate::{Control, Gate};
+use qda_rev::state::BitState;
+
+/// A random mixed-polarity MPMCT gate on `lines` lines. Draws control
+/// lines from an RNG instead of a 64-bit mask, so it works beyond 64
+/// lines.
+fn arb_gate(lines: usize) -> impl Strategy<Value = Gate> {
+    (0..lines, 0usize..4).prop_perturb(move |(target, n_controls), mut rng| {
+        let mut controls: Vec<Control> = Vec::new();
+        let mut used = vec![false; lines];
+        used[target] = true;
+        while controls.len() < n_controls {
+            let l = (rng.next_u64() % lines as u64) as usize;
+            if used[l] {
+                continue;
+            }
+            used[l] = true;
+            controls.push(if rng.next_u64() & 1 == 1 {
+                Control::positive(l)
+            } else {
+                Control::negative(l)
+            });
+        }
+        Gate::mct(controls, target)
+    })
+}
+
+fn arb_circuit(lines: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(arb_gate(lines), 0..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(lines);
+        for g in gates {
+            c.add_gate(g);
+        }
+        c
+    })
+}
+
+/// `count` random full-line assignments (one bool per line per state).
+fn arb_states(lines: usize, count: usize) -> impl Strategy<Value = Vec<Vec<bool>>> {
+    Just(()).prop_perturb(move |(), mut rng| {
+        (0..count)
+            .map(|_| (0..lines).map(|_| rng.next_u64() & 1 == 1).collect())
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_matches_scalar_replay_beyond_64_lines_and_64_states(
+        c in arb_circuit(70, 40),
+        states in arb_states(70, 100),
+    ) {
+        // 70 lines → multi-word scalar states; 100 states → multi-word
+        // lanes with a ragged tail.
+        let mut batch = BatchState::zeros(70, states.len());
+        for (k, bits) in states.iter().enumerate() {
+            for (line, &v) in bits.iter().enumerate() {
+                batch.set(line, k, v);
+            }
+        }
+        c.apply_batch(&mut batch);
+        for (k, bits) in states.iter().enumerate() {
+            let mut s = BitState::zeros(70);
+            for (line, &v) in bits.iter().enumerate() {
+                s.set(line, v);
+            }
+            c.apply(&mut s);
+            for line in 0..70 {
+                prop_assert_eq!(batch.get(line, k), s.get(line), "line {} state {}", line, k);
+            }
+        }
+    }
+
+    #[test]
+    fn simulate_batch_matches_simulate_u64(
+        c in arb_circuit(10, 40),
+        inputs in prop::collection::vec(0u64..1024, 65..200),
+    ) {
+        let batch = c.simulate_batch(&inputs);
+        for (k, &x) in inputs.iter().enumerate() {
+            prop_assert_eq!(batch[k], c.simulate_u64(x), "state {}", k);
+        }
+    }
+
+    #[test]
+    fn register_io_round_trips_through_the_transpose(
+        values in prop::collection::vec(any::<u64>(), 65..200),
+        width in 1usize..64,
+    ) {
+        let lines: Vec<usize> = (0..width).collect();
+        let mut batch = BatchState::zeros(width, values.len());
+        let masked: Vec<u64> = values
+            .iter()
+            .map(|v| if width == 64 { *v } else { v & ((1 << width) - 1) })
+            .collect();
+        batch.load_register(&lines, &masked);
+        prop_assert_eq!(batch.read_register(&lines), masked);
+    }
+
+    #[test]
+    fn verify_outcomes_identical_between_batch_and_scalar(
+        golden in arb_circuit(10, 24),
+        mutant in arb_circuit(10, 24),
+        checks in any::<bool>(),
+        force_sampling in any::<bool>(),
+    ) {
+        // Verify `mutant` against `golden` as the oracle: usually a
+        // mismatch or dirty line, occasionally equivalent — either way
+        // the two engines must report the identical outcome, witness
+        // included, on the exhaustive and sampled paths alike.
+        let input_lines: Vec<usize> = (0..7).collect();
+        let output_lines: Vec<usize> = (3..8).collect();
+        let oracle = |x: u64| {
+            let mut s = BitState::zeros(10);
+            s.write_register(&input_lines, x);
+            golden.apply(&mut s);
+            s.read_register(&output_lines)
+        };
+        let run = |batch: bool| {
+            verify_computes(
+                &mutant,
+                &input_lines,
+                &output_lines,
+                oracle,
+                &VerifyOptions {
+                    batch,
+                    exhaustive_limit: if force_sampling { 3 } else { 16 },
+                    random_samples: 96,
+                    check_ancilla_clean: checks,
+                    check_inputs_preserved: checks,
+                },
+            )
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn batched_permutation_is_a_permutation_matching_scalar(
+        c in arb_circuit(11, 24),
+    ) {
+        // 11 lines = 2048 states: permutation() spans two batches.
+        let perm = c.permutation();
+        prop_assert_eq!(perm.len(), 1 << 11);
+        let mut seen = vec![false; perm.len()];
+        for (x, &y) in perm.iter().enumerate() {
+            prop_assert!(!seen[y as usize], "not a permutation");
+            seen[y as usize] = true;
+            if x % 97 == 0 {
+                prop_assert_eq!(y, c.simulate_u64(x as u64), "input {}", x);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Regression tests for the release-mode soundness holes: the
+//! `1u64 << 64` shift wrap that made `verify_computes` vacuously pass on
+//! 64-bit interfaces, the same wrap in `Circuit::permutation` /
+//! `verify_permutation`, and the debug-only double-release check in
+//! `LineAllocator`. The `release_mode` module compiles only without
+//! debug assertions, so the `cargo test --release` CI job proves the
+//! checks are real asserts, not `debug_assert!`s.
+
+use qda_rev::circuit::{Circuit, LineAllocator};
+use qda_rev::equiv::{verify_computes, verify_permutation, VerifyOptions, VerifyOutcome};
+
+/// 64 input lines feeding one output line.
+fn wide_interface() -> (Vec<usize>, Vec<usize>) {
+    ((0..64).collect(), vec![64])
+}
+
+#[test]
+fn exhaustive_request_on_64_bit_interface_is_sampled_not_vacuous() {
+    // A correct circuit: out ^= bit 0. Even with exhaustive_limit = 64
+    // the 2^64 input space can only be sampled, so the verdict must be
+    // ProbablyCorrect — the old code returned Verified after checking
+    // a single input.
+    let mut c = Circuit::new(65);
+    c.cnot(0, 64);
+    let (inputs, outputs) = wide_interface();
+    for batch in [false, true] {
+        let out = verify_computes(
+            &c,
+            &inputs,
+            &outputs,
+            |x| x & 1,
+            &VerifyOptions {
+                exhaustive_limit: 64,
+                random_samples: 256,
+                batch,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out, VerifyOutcome::ProbablyCorrect { samples: 256 });
+    }
+}
+
+#[test]
+fn wrong_64_bit_circuit_is_caught_not_vacuously_verified() {
+    // The empty circuit against a non-trivial oracle: the old
+    // one-iteration loop only checked x = 0 (where both agree) and
+    // passed; sampling must find a mismatch.
+    let c = Circuit::new(65);
+    let (inputs, outputs) = wide_interface();
+    for batch in [false, true] {
+        let out = verify_computes(
+            &c,
+            &inputs,
+            &outputs,
+            |x| (x >> 17) & 1,
+            &VerifyOptions {
+                exhaustive_limit: 64,
+                random_samples: 256,
+                batch,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(out, VerifyOutcome::Mismatch { .. }), "{out:?}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "capped at 24 lines")]
+fn permutation_of_64_line_circuit_panics_instead_of_wrapping() {
+    // The old `1u64 << 64` wrapped to 1 in release builds, silently
+    // returning a one-entry "permutation" of a 2^64-state circuit.
+    let _ = Circuit::new(64).permutation();
+}
+
+#[test]
+#[should_panic(expected = "capped at 24 lines")]
+fn verify_permutation_rejects_wide_circuits_loudly() {
+    let _ = verify_permutation(&Circuit::new(64), &[0]);
+}
+
+#[test]
+#[should_panic(expected = "expected 2^3")]
+fn verify_permutation_rejects_wrong_length_tables() {
+    let _ = verify_permutation(&Circuit::new(3), &[0, 1, 2]);
+}
+
+#[test]
+#[should_panic(expected = "double release")]
+fn double_release_panics_in_every_profile() {
+    let mut alloc = LineAllocator::new(2);
+    let line = alloc.alloc();
+    alloc.release(line);
+    alloc.release(line);
+}
+
+#[test]
+#[should_panic(expected = "never produced")]
+fn releasing_a_foreign_line_panics() {
+    // Releasing a reserved (or never-allocated) line would let alloc()
+    // hand out a primary-input line as a "clean ancilla" later.
+    let mut alloc = LineAllocator::new(2);
+    alloc.release(0);
+}
+
+#[test]
+fn release_then_alloc_reuses_without_aliasing() {
+    let mut alloc = LineAllocator::new(1);
+    let a = alloc.alloc();
+    let b = alloc.alloc();
+    alloc.release(a);
+    alloc.release(b);
+    let c = alloc.alloc();
+    let d = alloc.alloc();
+    assert_ne!(c, d, "recycled lines must have exactly one owner each");
+    assert_eq!(alloc.high_water(), 3);
+}
+
+/// Compiled only in release-style builds: `cargo test --release` proves
+/// the three fixes hold exactly where the original bugs lived.
+#[cfg(not(debug_assertions))]
+mod release_mode {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    #[test]
+    fn double_release_check_is_not_a_debug_assert() {
+        let result = catch_unwind(|| {
+            let mut alloc = LineAllocator::new(1);
+            let line = alloc.alloc();
+            alloc.release(line);
+            alloc.release(line);
+        });
+        assert!(
+            result.is_err(),
+            "double release must panic without debug assertions"
+        );
+    }
+
+    #[test]
+    fn shift_guard_holds_without_debug_assertions() {
+        // In release builds the old `1u64 << 64` wrapped (debug builds
+        // panicked on the overflow instead), which is exactly the
+        // profile this test runs under.
+        let c = Circuit::new(65);
+        let (inputs, outputs) = wide_interface();
+        let out = verify_computes(
+            &c,
+            &inputs,
+            &outputs,
+            |x| x & 1,
+            &VerifyOptions {
+                exhaustive_limit: 64,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(out, VerifyOutcome::Mismatch { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn permutation_guard_holds_without_debug_assertions() {
+        assert!(catch_unwind(|| Circuit::new(64).permutation()).is_err());
+    }
+}
