@@ -23,7 +23,7 @@
 //! assert_eq!(mgr.sat_count(f), 2); // x2 free
 //! ```
 
-use std::collections::HashMap;
+use qda_logic::hash::{FxHashMap, FxHashSet};
 use std::fmt;
 
 /// Handle to a BDD node inside a [`BddManager`].
@@ -67,9 +67,9 @@ enum Op {
 pub struct BddManager {
     num_vars: usize,
     nodes: Vec<Node>,
-    unique: HashMap<Node, Bdd>,
-    cache: HashMap<(Op, Bdd, Bdd), Bdd>,
-    not_cache: HashMap<Bdd, Bdd>,
+    unique: FxHashMap<Node, Bdd>,
+    cache: FxHashMap<(Op, Bdd, Bdd), Bdd>,
+    not_cache: FxHashMap<Bdd, Bdd>,
 }
 
 impl BddManager {
@@ -84,9 +84,9 @@ impl BddManager {
         Self {
             num_vars,
             nodes: vec![term, term],
-            unique: HashMap::new(),
-            cache: HashMap::new(),
-            not_cache: HashMap::new(),
+            unique: FxHashMap::default(),
+            cache: FxHashMap::default(),
+            not_cache: FxHashMap::default(),
         }
     }
 
@@ -103,7 +103,7 @@ impl BddManager {
     /// Number of nodes reachable from `f` (its BDD size), terminals
     /// excluded.
     pub fn size(&self, f: Bdd) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n.is_const() || !seen.insert(n) {
@@ -302,7 +302,7 @@ impl BddManager {
 
     /// Number of satisfying assignments over all `num_vars` variables.
     pub fn sat_count(&self, f: Bdd) -> u128 {
-        fn rec(mgr: &BddManager, f: Bdd, memo: &mut HashMap<Bdd, u128>) -> u128 {
+        fn rec(mgr: &BddManager, f: Bdd, memo: &mut FxHashMap<Bdd, u128>) -> u128 {
             // Count over variables strictly below (after) top_var(f).
             if f == Bdd::FALSE {
                 return 0;
@@ -322,7 +322,7 @@ impl BddManager {
             memo.insert(f, c);
             c
         }
-        let mut memo = HashMap::new();
+        let mut memo = FxHashMap::default();
         let c = rec(self, f, &mut memo);
         let top = self.top_var(f).min(self.num_vars as u32);
         c << top
@@ -331,7 +331,7 @@ impl BddManager {
     /// The variables `f` depends on.
     pub fn support(&self, f: Bdd) -> Vec<usize> {
         let mut vars = std::collections::BTreeSet::new();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         let mut stack = vec![f];
         while let Some(n) = stack.pop() {
             if n.is_const() || !seen.insert(n) {

@@ -13,7 +13,7 @@
 //! block × 2^13 (CI smoke), `--full` extends to five blocks × 2^19.
 
 use qda_bench::results::{BenchResults, BenchRow};
-use qda_bench::runner::{emit_results, parse_args};
+use qda_bench::runner::{emit_results, parse_args, splitmix};
 use qda_core::report::Table;
 use qda_rev::batchsim::{BatchState, BATCH_STATES};
 use qda_rev::blocks::{cuccaro_add, less_than, multiply_add};
@@ -77,15 +77,6 @@ fn multiplier(w: usize) -> Workload {
         circuit,
         regs: vec![a, b],
     }
-}
-
-/// SplitMix64: deterministic input streams without extra dependencies.
-fn splitmix(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 /// Folds one state's register outputs into a running checksum (same

@@ -30,6 +30,18 @@
 //!  "qubits": 50, "t_count": 0, "gates": 145, "runtime_s": 0.004,
 //!  "states_per_sec": 16384000.0}
 //! ```
+//!
+//! ESOP-minimization benches (`esop_bench`) also reuse the shape, with the
+//! engine name in `flow`, the variable count in `qubits`, the minimized
+//! cube count in `gates` (each cube becomes one Toffoli gate), the
+//! minimized literal count in `t_count`, and an extra `cubes_in` field
+//! (seed cubes before minimization):
+//!
+//! ```json
+//! {"design": "MINTERM", "n": 12, "flow": "indexed",
+//!  "qubits": 12, "t_count": 18101, "gates": 2048, "runtime_s": 0.0891,
+//!  "cubes_in": 3560}
+//! ```
 
 use crate::json::Json;
 use qda_core::flow::{FlowOutcome, StageTimings};
@@ -64,6 +76,11 @@ pub struct BenchData {
     /// Simulation throughput in states/second, for throughput benches
     /// (`verify_bench`); gates·states/sec is `states_per_sec × gates`.
     pub states_per_sec: Option<f64>,
+    /// Seed cube count before minimization, for ESOP-minimization benches
+    /// (`esop_bench`); those rows reuse `qubits` for the variable count,
+    /// `gates` for the minimized cube count (one Toffoli per cube) and
+    /// `t_count` for the minimized literal count.
+    pub cubes_in: Option<u64>,
 }
 
 impl BenchRow {
@@ -80,6 +97,7 @@ impl BenchRow {
                 runtime_s: outcome.runtime.as_secs_f64(),
                 stages: Some(outcome.stages),
                 states_per_sec: None,
+                cubes_in: None,
             }),
         }
     }
@@ -103,6 +121,7 @@ impl BenchRow {
                 runtime_s: 0.0,
                 stages: None,
                 states_per_sec: None,
+                cubes_in: None,
             }),
         }
     }
@@ -130,6 +149,38 @@ impl BenchRow {
                 runtime_s,
                 stages: None,
                 states_per_sec: Some(states as f64 / runtime_s.max(f64::EPSILON)),
+                cubes_in: None,
+            }),
+        }
+    }
+
+    /// A row for an ESOP-minimization measurement (`esop_bench`): `engine`
+    /// minimized a `num_vars`-variable ESOP from `cubes_in` seed cubes
+    /// down to `cubes_out` cubes / `literals_out` literals in `runtime_s`
+    /// seconds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_minimization(
+        design: &str,
+        n: usize,
+        engine: &str,
+        num_vars: usize,
+        cubes_in: usize,
+        cubes_out: usize,
+        literals_out: usize,
+        runtime_s: f64,
+    ) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: engine.to_string(),
+            data: Ok(BenchData {
+                qubits: num_vars,
+                t_count: literals_out as u64,
+                gates: cubes_out,
+                runtime_s,
+                stages: None,
+                states_per_sec: None,
+                cubes_in: Some(cubes_in as u64),
             }),
         }
     }
@@ -170,6 +221,9 @@ impl BenchRow {
                 }
                 if let Some(sps) = d.states_per_sec {
                     pairs.push(("states_per_sec".to_string(), Json::fixed(sps, 1)));
+                }
+                if let Some(cubes) = d.cubes_in {
+                    pairs.push(("cubes_in".to_string(), Json::Int(cubes)));
                 }
             }
             Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
@@ -293,6 +347,20 @@ mod tests {
         assert!(json.contains(r#""states_per_sec": 2097152.0"#));
         assert!(json.contains(r#""gates": 145"#));
         assert!(!json.contains("stages"));
+    }
+
+    #[test]
+    fn minimization_rows_carry_cubes_in() {
+        let mut r = BenchResults::new("esop");
+        r.push(BenchRow::from_minimization(
+            "MINTERM", 12, "indexed", 12, 3560, 2048, 18101, 0.0891,
+        ));
+        let json = r.to_json();
+        assert!(json.contains(r#""cubes_in": 3560"#));
+        assert!(json.contains(r#""gates": 2048"#));
+        assert!(json.contains(r#""t_count": 18101"#));
+        assert!(json.contains(r#""flow": "indexed""#));
+        assert!(!json.contains("states_per_sec"));
     }
 
     #[test]

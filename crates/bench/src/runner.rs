@@ -38,6 +38,16 @@ impl Args {
     }
 }
 
+/// SplitMix64 step: deterministic workload/input streams for the bench
+/// binaries without extra dependencies.
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Formats a `Duration` in seconds with two decimals (the paper's unit).
 pub fn secs(d: std::time::Duration) -> String {
     format!("{:.2}", d.as_secs_f64())

@@ -4,20 +4,43 @@
 //! the PIs to `n` passes through a leaf. k-feasible cuts (≤ k leaves) are
 //! the unit of technology mapping; the XMG mapper uses `k = 4` to mirror
 //! CirKit's `xmglut -k 4`.
+//!
+//! Cut merging — the inner loop of enumeration — works in an inline stack
+//! buffer and allocates only when a candidate actually survives the size
+//! bound, and every cut carries a 64-bit leaf signature (a Bloom-style
+//! fingerprint) so dominance checks reject most pairs with two bit ops.
 
 use qda_logic::aig::Aig;
-use std::collections::HashMap;
+use qda_logic::hash::{fx_map_with_capacity, FxHashMap};
 
-/// A cut: sorted leaf node indices.
+/// Upper bound on `k` supported by the inline merge buffer.
+pub const MAX_CUT_SIZE: usize = 16;
+
+/// A cut: sorted leaf node indices plus a leaf-set signature.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Cut {
     leaves: Vec<usize>,
+    /// Bloom fingerprint: bit `l mod 64` set for every leaf `l`. A cut can
+    /// only be a subset of another if its signature bits are.
+    sig: u64,
+}
+
+fn signature(leaves: &[usize]) -> u64 {
+    leaves.iter().fold(0u64, |s, &l| s | 1 << (l & 63))
 }
 
 impl Cut {
     /// The trivial cut `{node}`.
     pub fn trivial(node: usize) -> Self {
-        Self { leaves: vec![node] }
+        Self::from_leaves(vec![node])
+    }
+
+    /// A cut from explicit leaves (sorted and deduplicated internally).
+    pub fn from_leaves(mut leaves: Vec<usize>) -> Self {
+        leaves.sort_unstable();
+        leaves.dedup();
+        let sig = signature(&leaves);
+        Self { leaves, sig }
     }
 
     /// The leaves, ascending.
@@ -30,52 +53,95 @@ impl Cut {
         self.leaves.len()
     }
 
-    /// Merges two cuts if the union stays within `k` leaves.
+    /// Merges two cuts if the union stays within `k` leaves. The union is
+    /// computed in an inline buffer; nothing is allocated unless the merge
+    /// succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > MAX_CUT_SIZE`.
     pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
-        let mut leaves = Vec::with_capacity(k);
+        assert!(k <= MAX_CUT_SIZE, "cut size {k} exceeds {MAX_CUT_SIZE}");
+        // Early bounds: the union is at least as large as either operand,
+        // and at least as large as the popcount of the combined signature.
+        if self.leaves.len() > k || other.leaves.len() > k {
+            return None;
+        }
+        let sig = self.sig | other.sig;
+        if sig.count_ones() as usize > k {
+            return None;
+        }
+        let mut buf = [0usize; MAX_CUT_SIZE];
+        let mut len = 0;
+        let (a, b) = (&self.leaves, &other.leaves);
         let (mut i, mut j) = (0, 0);
-        while i < self.leaves.len() || j < other.leaves.len() {
-            let next = match (self.leaves.get(i), other.leaves.get(j)) {
-                (Some(&a), Some(&b)) if a == b => {
+        while i < a.len() || j < b.len() {
+            let next = match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
                     i += 1;
                     j += 1;
-                    a
+                    x
                 }
-                (Some(&a), Some(&b)) if a < b => {
+                (Some(&x), Some(&y)) if x < y => {
                     i += 1;
-                    a
+                    x
                 }
-                (Some(_), Some(&b)) => {
+                (Some(_), Some(&y)) => {
                     j += 1;
-                    b
+                    y
                 }
-                (Some(&a), None) => {
+                (Some(&x), None) => {
                     i += 1;
-                    a
+                    x
                 }
-                (None, Some(&b)) => {
+                (None, Some(&y)) => {
                     j += 1;
-                    b
+                    y
                 }
-                (None, None) => break,
+                (None, None) => unreachable!("loop condition"),
             };
-            if leaves.len() == k {
+            if len == k {
                 return None;
             }
-            leaves.push(next);
+            buf[len] = next;
+            len += 1;
         }
-        Some(Cut { leaves })
+        Some(Cut {
+            leaves: buf[..len].to_vec(),
+            sig,
+        })
     }
 
     /// Whether this cut's leaves are a subset of `other`'s (then `other`
-    /// is dominated and redundant).
+    /// is dominated and redundant). Signature reject first, then a linear
+    /// two-pointer subset test over the sorted leaves.
     pub fn dominates(&self, other: &Cut) -> bool {
-        self.leaves.iter().all(|l| other.leaves.contains(l))
+        if self.sig & !other.sig != 0 || self.leaves.len() > other.leaves.len() {
+            return false;
+        }
+        let mut j = 0;
+        for &l in &self.leaves {
+            while j < other.leaves.len() && other.leaves[j] < l {
+                j += 1;
+            }
+            if j == other.leaves.len() || other.leaves[j] != l {
+                return false;
+            }
+            j += 1;
+        }
+        true
     }
 }
 
 /// Enumerates up to `max_cuts` k-feasible cuts per node (plus the trivial
-/// cut). Returns one cut list per node index.
+/// cut). Returns one cut list per node index. Dominated candidates are
+/// filtered incrementally (a candidate dominated by a kept cut is dropped
+/// on arrival; kept cuts dominated by a new candidate are evicted in
+/// place), so the per-node list is never rebuilt.
+///
+/// # Panics
+///
+/// Panics if `k > MAX_CUT_SIZE` (the [`Cut::merge`] inline-buffer bound).
 pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
     let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
     for (i, c) in cuts.iter_mut().enumerate().take(aig.num_pis() + 1) {
@@ -86,27 +152,19 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
         let mut list: Vec<Cut> = Vec::new();
         for ca in &cuts[a.node()] {
             for cb in &cuts[b.node()] {
-                if let Some(c) = ca.merge(cb, k) {
-                    if !list.contains(&c) {
-                        list.push(c);
-                    }
+                let Some(c) = ca.merge(cb, k) else { continue };
+                // Equal cuts dominate each other, so this also dedupes.
+                if list.iter().any(|d| d.size() <= c.size() && d.dominates(&c)) {
+                    continue;
                 }
+                list.retain(|d| !(c.size() <= d.size() && c.dominates(d)));
+                list.push(c);
             }
         }
-        // Remove dominated cuts.
-        let mut filtered: Vec<Cut> = Vec::new();
-        for c in &list {
-            if !list
-                .iter()
-                .any(|d| d != c && d.size() < c.size() && d.dominates(c))
-            {
-                filtered.push(c.clone());
-            }
-        }
-        filtered.sort_by_key(Cut::size);
-        filtered.truncate(max_cuts);
-        filtered.push(Cut::trivial(n));
-        cuts[n] = filtered;
+        list.sort_by_key(Cut::size);
+        list.truncate(max_cuts);
+        list.push(Cut::trivial(n));
+        cuts[n] = list;
     }
     cuts
 }
@@ -120,12 +178,12 @@ pub fn enumerate_cuts(aig: &Aig, k: usize, max_cuts: usize) -> Vec<Vec<Cut>> {
 pub fn cut_truth_table(aig: &Aig, root: usize, cut: &Cut) -> u16 {
     assert!(cut.size() <= 4, "cut too large for u16 table");
     const VAR_PAT: [u16; 4] = [0xAAAA, 0xCCCC, 0xF0F0, 0xFF00];
-    let mut memo: HashMap<usize, u16> = HashMap::new();
+    let mut memo: FxHashMap<usize, u16> = fx_map_with_capacity(16);
     memo.insert(0, 0); // constant false node
     for (i, &leaf) in cut.leaves().iter().enumerate() {
         memo.insert(leaf, VAR_PAT[i]);
     }
-    fn eval(aig: &Aig, node: usize, memo: &mut HashMap<usize, u16>) -> u16 {
+    fn eval(aig: &Aig, node: usize, memo: &mut FxHashMap<usize, u16>) -> u16 {
         if let Some(&v) = memo.get(&node) {
             return v;
         }
@@ -157,15 +215,22 @@ mod tests {
 
     #[test]
     fn merge_respects_k() {
-        let a = Cut {
-            leaves: vec![1, 2, 3],
-        };
-        let b = Cut {
-            leaves: vec![3, 4, 5],
-        };
+        let a = Cut::from_leaves(vec![1, 2, 3]);
+        let b = Cut::from_leaves(vec![3, 4, 5]);
         assert!(a.merge(&b, 4).is_none());
         let m = a.merge(&b, 5).unwrap();
         assert_eq!(m.leaves(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn merge_handles_signature_collisions() {
+        // Leaves 64 apart collide in the signature but must still merge
+        // into distinct entries.
+        let a = Cut::from_leaves(vec![1, 65]);
+        let b = Cut::from_leaves(vec![129]);
+        let m = a.merge(&b, 4).unwrap();
+        assert_eq!(m.leaves(), &[1, 65, 129]);
+        assert_eq!(m.size(), 3);
     }
 
     #[test]
@@ -192,6 +257,21 @@ mod tests {
     }
 
     #[test]
+    fn no_duplicate_or_dominated_cuts() {
+        let (aig, _) = sample_aig();
+        let cuts = enumerate_cuts(&aig, 4, 8);
+        for node_cuts in &cuts {
+            for (i, c) in node_cuts.iter().enumerate() {
+                for (j, d) in node_cuts.iter().enumerate() {
+                    if i != j {
+                        assert!(!c.dominates(d), "{c:?} dominates {d:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn cut_function_matches_semantics() {
         let (aig, f) = sample_aig();
         let cuts = enumerate_cuts(&aig, 4, 8);
@@ -212,9 +292,12 @@ mod tests {
 
     #[test]
     fn domination_filtering() {
-        let small = Cut { leaves: vec![1] };
-        let big = Cut { leaves: vec![1, 2] };
+        let small = Cut::from_leaves(vec![1]);
+        let big = Cut::from_leaves(vec![1, 2]);
         assert!(small.dominates(&big));
         assert!(!big.dominates(&small));
+        // Signature-colliding non-subset: 65 maps to the same bit as 1.
+        let aliased = Cut::from_leaves(vec![65, 2]);
+        assert!(!small.dominates(&aliased));
     }
 }

@@ -8,31 +8,41 @@
 //! * negative Davio:  `f = f₁ ⊕ x̄·f₂`
 //!
 //! with `f₂ = f₀ ⊕ f₁`. The recursion is memoized per BDD node, so shared
-//! subfunctions are expanded once. The result is the starting point for
+//! subfunctions are expanded once; the memo stores reference-counted cube
+//! slices (`Rc<[Cube]>`), so a memo hit costs one pointer clone instead of
+//! deep-copying the node's whole cube list, and
+//! [`extract_multi_esop`] shares one memo across all outputs, so BDD nodes
+//! shared between outputs contribute their cube lists without being
+//! re-expanded per output. The result is the starting point for
 //! [`crate::exorcism`] minimization — together they stand in for ABC's
 //! `&exorcism` in the paper's ESOP flow.
 
 use qda_bdd::{Bdd, BddManager};
 use qda_logic::cube::Cube;
 use qda_logic::esop::{Esop, MultiEsop};
-use std::collections::HashMap;
+use qda_logic::hash::FxHashMap;
+use std::rc::Rc;
+
+/// Memoized per-node cube lists: cloning a hit is `O(1)`.
+type CubeList = Rc<[Cube]>;
+type Memo = FxHashMap<Bdd, CubeList>;
 
 /// Extracts a single-output ESOP from a BDD.
 pub fn extract_esop(mgr: &mut BddManager, f: Bdd) -> Esop {
-    let mut memo: HashMap<Bdd, Vec<Cube>> = HashMap::new();
+    let mut memo = Memo::default();
     let cubes = rec(mgr, f, &mut memo);
-    Esop::from_cubes(mgr.num_vars(), cubes)
+    Esop::from_cubes(mgr.num_vars(), cubes.to_vec())
 }
 
-fn rec(mgr: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Vec<Cube>>) -> Vec<Cube> {
+fn rec(mgr: &mut BddManager, f: Bdd, memo: &mut Memo) -> CubeList {
     if f == Bdd::FALSE {
-        return Vec::new();
+        return Vec::new().into();
     }
     if f == Bdd::TRUE {
-        return vec![Cube::tautology()];
+        return vec![Cube::tautology()].into();
     }
     if let Some(c) = memo.get(&f) {
-        return c.clone();
+        return Rc::clone(c);
     }
     let var = mgr.top_var(f) as usize;
     let (f0, f1) = mgr.branches(f, var as u32);
@@ -46,35 +56,40 @@ fn rec(mgr: &mut BddManager, f: Bdd, memo: &mut HashMap<Bdd, Vec<Cube>>) -> Vec<
     let pdavio = c0.len() + c2.len();
     let ndavio = c1.len() + c2.len();
     let best = shannon.min(pdavio).min(ndavio);
-    let cubes: Vec<Cube> = if best == pdavio {
-        c0.iter()
-            .copied()
-            .chain(c2.iter().map(|c| c.with_literal(var, true)))
-            .collect()
+    let mut cubes: Vec<Cube> = Vec::with_capacity(best);
+    if best == pdavio {
+        cubes.extend(c0.iter().copied());
+        cubes.extend(c2.iter().map(|c| c.with_literal(var, true)));
     } else if best == ndavio {
-        c1.iter()
-            .copied()
-            .chain(c2.iter().map(|c| c.with_literal(var, false)))
-            .collect()
+        cubes.extend(c1.iter().copied());
+        cubes.extend(c2.iter().map(|c| c.with_literal(var, false)));
     } else {
-        c0.iter()
-            .map(|c| c.with_literal(var, false))
-            .chain(c1.iter().map(|c| c.with_literal(var, true)))
-            .collect()
-    };
-    memo.insert(f, cubes.clone());
+        cubes.extend(c0.iter().map(|c| c.with_literal(var, false)));
+        cubes.extend(c1.iter().map(|c| c.with_literal(var, true)));
+    }
+    let cubes: CubeList = cubes.into();
+    memo.insert(f, Rc::clone(&cubes));
     cubes
 }
 
 /// Extracts a shared multi-output ESOP from per-output BDDs (cubes feeding
-/// several outputs are stored once with a combined output mask).
+/// several outputs are stored once with a combined output mask). All
+/// outputs expand through one memo, so BDD nodes shared across outputs are
+/// expanded once in total, not once per output.
 ///
 /// # Panics
 ///
 /// Panics if `outputs` is empty or has more than 64 entries.
 pub fn extract_multi_esop(mgr: &mut BddManager, outputs: &[Bdd]) -> MultiEsop {
     assert!(!outputs.is_empty() && outputs.len() <= 64);
-    let esops: Vec<Esop> = outputs.iter().map(|&f| extract_esop(mgr, f)).collect();
+    let mut memo = Memo::default();
+    let esops: Vec<Esop> = outputs
+        .iter()
+        .map(|&f| {
+            let cubes = rec(mgr, f, &mut memo);
+            Esop::from_cubes(mgr.num_vars(), cubes.to_vec())
+        })
+        .collect();
     MultiEsop::from_single_outputs(&esops)
 }
 
@@ -144,6 +159,31 @@ mod tests {
         }
         // The x0&x1 cube is shared: 2 distinct cubes total, not 3.
         assert_eq!(multi.len(), 2);
+    }
+
+    #[test]
+    fn shared_memo_matches_per_output_extraction() {
+        // Outputs with heavily shared BDD structure: the multi-output
+        // extraction (one memo) must agree with extracting each output in
+        // isolation (fresh memos).
+        let mut mgr = BddManager::new(6);
+        let vars: Vec<Bdd> = (0..6).map(|i| mgr.var(i)).collect();
+        let mut acc = Bdd::FALSE;
+        let mut outputs = Vec::new();
+        for &v in &vars {
+            acc = mgr.xor(acc, v);
+            let guarded = mgr.and(acc, vars[0]);
+            outputs.push(mgr.or(guarded, vars[5]));
+        }
+        let multi = extract_multi_esop(&mut mgr, &outputs);
+        for (j, &f) in outputs.iter().enumerate() {
+            let single = extract_esop(&mut mgr, f);
+            assert_eq!(
+                multi.output(j).to_truth_table(),
+                single.to_truth_table(),
+                "output {j}"
+            );
+        }
     }
 
     #[test]

@@ -10,17 +10,84 @@
 //!   replaced by an equivalent pair, accepted when it reduces the literal
 //!   count or unlocks a new distance-0/1 reduction.
 //!
-//! The loop runs until a fixpoint or the iteration budget is reached.
+//! Two engines implement this loop (selected by [`ExorcismOptions::engine`]):
+//!
+//! * [`ExorcismEngine::Indexed`] (default) — the worklist-driven engine.
+//!   Cubes live in a slot store wrapped by three indexes:
+//!
+//!   1. an **exact map** `cube → slot` (distance-0 partners; inserting a
+//!      duplicate cube XORs the output masks in place),
+//!   2. a **wildcard index** keyed by `(output mask, var, cube with that
+//!      var wildcarded)`. Two same-mask cubes share a wildcard key iff they
+//!      agree everywhere except possibly at `var`; combined with the exact
+//!      map's uniqueness invariant, every non-self bucket mate is at
+//!      distance exactly 1, so distance-1 partners are found in
+//!      `O(num_vars)` lookups instead of an `O(n)` scan,
+//!   3. **mask groups** `output mask → slots`, scanned for distance-2
+//!      exorlink candidates behind a care-mask / literal-count signature
+//!      filter (distance-2 cubes differ in ≤ 2 care bits and ≤ 2 literals).
+//!
+//!   A merge worklist holds the slots whose distance-0/1 neighbourhood may
+//!   have changed (freshly inserted or rewritten cubes); an exorlink dirty
+//!   list holds the slots touched since the last exorlink sweep. Rewrites
+//!   re-enqueue only the cubes they create, so the loop is incremental —
+//!   there are no full restarts.
+//!
+//! * [`ExorcismEngine::Naive`] — the original quadratic-restart engine
+//!   (full `O(n²)` rescans after every merge), kept as the differential
+//!   -testing oracle.
+//!
+//! Both engines run until a fixpoint or the round budget is exhausted, and
+//! preserve the multi-output function exactly: every rewrite replaces a set
+//! of `(cube, output mask)` entries by an XOR-equivalent set.
 
-use qda_logic::esop::MultiEsop;
+use qda_logic::cube::Cube;
+use qda_logic::esop::{xor_dedupe_sorted, MultiEsop};
+use qda_logic::hash::{FxHashMap, FxHashSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::hash_map::Entry;
+use std::collections::VecDeque;
+
+/// Which minimization engine [`minimize_esop`] runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExorcismEngine {
+    /// The indexed, worklist-driven engine (see the module docs).
+    #[default]
+    Indexed,
+    /// The original quadratic-restart engine; kept for differential
+    /// testing against [`ExorcismEngine::Indexed`].
+    Naive,
+    /// Bit-exact replay of [`ExorcismEngine::Naive`]'s decision sequence
+    /// with the `O(n²)` pair rescans and `O(n)` unlock lookaheads replaced
+    /// by position-indexed lookups: same result, far less work. The
+    /// indexed engine also runs this as one of its starts (on covers small
+    /// enough to afford it), which makes it never worse than the naive
+    /// oracle there by construction.
+    Replay,
+}
 
 /// Options for [`minimize_esop`].
 #[derive(Clone, Copy, Debug)]
 pub struct ExorcismOptions {
-    /// Maximum number of full improvement sweeps.
+    /// Maximum number of improvement rounds (exorlink sweeps for the
+    /// indexed engine, full sweeps for the naive one). `0` degrades to a
+    /// bare distance-0 dedupe.
     pub max_rounds: usize,
     /// Whether to attempt distance-2 exorlink rewrites.
     pub exorlink2: bool,
+    /// Engine selection.
+    pub engine: ExorcismEngine,
+    /// Number of diversified starts of the indexed engine (insertion and
+    /// scan orders vary per start; the best cover wins). The greedy loop
+    /// is order-sensitive, so a few cheap restarts recover most of the
+    /// quality a single unlucky path leaves behind. Ignored by the naive
+    /// engine; `0` behaves like `1`.
+    pub restarts: usize,
+    /// Seed-cover size cap for taking the extra [`Self::restarts`]: inputs
+    /// with more cubes run a single start (restart quality gains fade with
+    /// size while their cost grows linearly).
+    pub restart_cube_limit: usize,
 }
 
 impl Default for ExorcismOptions {
@@ -28,6 +95,9 @@ impl Default for ExorcismOptions {
         Self {
             max_rounds: 24,
             exorlink2: true,
+            engine: ExorcismEngine::Indexed,
+            restarts: 4,
+            restart_cube_limit: 512,
         }
     }
 }
@@ -54,23 +124,714 @@ impl Default for ExorcismOptions {
 /// ```
 pub fn minimize_esop(esop: &mut MultiEsop, options: &ExorcismOptions) -> usize {
     let initial = esop.len();
+    match options.engine {
+        ExorcismEngine::Indexed => minimize_indexed(esop, options),
+        ExorcismEngine::Naive => minimize_naive(esop, options),
+        ExorcismEngine::Replay => {
+            let cubes = run_naive_replay(esop.num_vars(), esop.cubes(), options);
+            *esop = MultiEsop::from_cubes(esop.num_vars(), esop.num_outputs(), cubes);
+        }
+    }
+    initial.saturating_sub(esop.len())
+}
+
+// ---------------------------------------------------------------------------
+// Indexed worklist engine
+// ---------------------------------------------------------------------------
+
+/// Wildcard-index key: `(output mask, wildcarded var, cube with that var
+/// set to don't-care)`. Same-mask cubes share a key iff they agree on every
+/// position except possibly `var`.
+type WildKey = (u64, u32, Cube);
+
+/// The indexed cube store. Slot ids are stable while a cube is live; freed
+/// slots are recycled, and all three indexes are maintained eagerly, so
+/// every index entry points at a live cube that matches its key.
+struct CubeIndex {
+    num_vars: usize,
+    /// Scan wildcard positions (and exorlink candidates) high-to-low
+    /// instead of low-to-high; varies the greedy path across restarts.
+    scan_rev: bool,
+    /// Drain the merge worklist LIFO (depth-first subcube growth) instead
+    /// of FIFO (level-by-level pairing); a second restart axis.
+    lifo: bool,
+    /// `slots[s] = Some((cube, mask))` while live; `None` once detached.
+    slots: Vec<Option<(Cube, u64)>>,
+    free: Vec<usize>,
+    /// Distance-0 index. Invariant: every live cube value appears in
+    /// exactly one slot (duplicates are XOR-merged on insert).
+    exact: FxHashMap<Cube, usize>,
+    /// Distance-1 index: each live slot appears in `num_vars` buckets.
+    wildcard: FxHashMap<WildKey, Vec<usize>>,
+    /// Exorlink candidate groups by output mask.
+    groups: FxHashMap<u64, FxHashSet<usize>>,
+    /// Slots whose distance-0/1 neighbourhood may have changed.
+    merge_queue: VecDeque<usize>,
+    queued: Vec<bool>,
+    /// Slots touched since the last exorlink sweep.
+    dirty: Vec<usize>,
+    dirty_flag: Vec<bool>,
+}
+
+impl CubeIndex {
+    fn new(num_vars: usize, scan_rev: bool, lifo: bool) -> Self {
+        Self {
+            num_vars,
+            scan_rev,
+            lifo,
+            slots: Vec::new(),
+            free: Vec::new(),
+            exact: FxHashMap::default(),
+            wildcard: FxHashMap::default(),
+            groups: FxHashMap::default(),
+            merge_queue: VecDeque::new(),
+            queued: Vec::new(),
+            dirty: Vec::new(),
+            dirty_flag: Vec::new(),
+        }
+    }
+
+    fn live(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Current cover cost: `(cube count, literal count)`.
+    fn cost(&self) -> (usize, usize) {
+        (
+            self.live(),
+            self.slots
+                .iter()
+                .flatten()
+                .map(|(c, _)| c.num_literals())
+                .sum(),
+        )
+    }
+
+    /// Inserts a cube, cancelling against an existing identical cube
+    /// (masks XOR; the cube disappears entirely if they cancel to zero).
+    fn insert(&mut self, cube: Cube, mask: u64) {
+        if mask == 0 {
+            return;
+        }
+        if let Some(&slot) = self.exact.get(&cube) {
+            let (_, old_mask) = self.slots[slot].expect("exact entry points at live slot");
+            self.detach(slot);
+            let merged = old_mask ^ mask;
+            if merged != 0 {
+                self.insert_fresh(cube, merged);
+            }
+            return;
+        }
+        self.insert_fresh(cube, mask);
+    }
+
+    fn insert_fresh(&mut self, cube: Cube, mask: u64) {
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.queued.push(false);
+                self.dirty_flag.push(false);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[slot] = Some((cube, mask));
+        self.exact.insert(cube, slot);
+        for v in 0..self.num_vars as u32 {
+            self.wildcard
+                .entry((mask, v, cube.without_var(v as usize)))
+                .or_default()
+                .push(slot);
+        }
+        self.groups.entry(mask).or_default().insert(slot);
+        self.enqueue_merge(slot);
+        self.mark_dirty(slot);
+    }
+
+    /// Removes a live cube from the store and all indexes.
+    fn detach(&mut self, slot: usize) {
+        let (cube, mask) = self.slots[slot].take().expect("detach of a live slot");
+        self.exact.remove(&cube);
+        for v in 0..self.num_vars as u32 {
+            let key = (mask, v, cube.without_var(v as usize));
+            if let Entry::Occupied(mut e) = self.wildcard.entry(key) {
+                e.get_mut().retain(|&s| s != slot);
+                if e.get().is_empty() {
+                    e.remove();
+                }
+            }
+        }
+        if let Entry::Occupied(mut e) = self.groups.entry(mask) {
+            e.get_mut().remove(&slot);
+            if e.get().is_empty() {
+                e.remove();
+            }
+        }
+        self.free.push(slot);
+    }
+
+    fn pop_merge(&mut self) -> Option<usize> {
+        if self.lifo {
+            self.merge_queue.pop_back()
+        } else {
+            self.merge_queue.pop_front()
+        }
+    }
+
+    fn enqueue_merge(&mut self, slot: usize) {
+        if !self.queued[slot] {
+            self.queued[slot] = true;
+            self.merge_queue.push_back(slot);
+        }
+    }
+
+    fn mark_dirty(&mut self, slot: usize) {
+        if !self.dirty_flag[slot] {
+            self.dirty_flag[slot] = true;
+            self.dirty.push(slot);
+        }
+    }
+
+    /// A distance-1, same-mask partner of `cube`, if any, in
+    /// `O(num_vars)` bucket lookups. Among the candidates, a partner with
+    /// the same care set (phase difference — the merge drops the whole
+    /// variable) is preferred over one whose care set differs (the merge
+    /// only flips a phase), which gives tighter subcubes first.
+    fn find_merge_partner(&self, slot: usize, cube: Cube, mask: u64) -> Option<usize> {
+        let mut fallback = None;
+        for i in 0..self.num_vars as u32 {
+            let v = if self.scan_rev {
+                self.num_vars as u32 - 1 - i
+            } else {
+                i
+            };
+            let key = (mask, v, cube.without_var(v as usize));
+            if let Some(bucket) = self.wildcard.get(&key) {
+                for &s in bucket {
+                    if s == slot {
+                        continue;
+                    }
+                    let (pc, _) = self.slots[s].expect("index entries are live");
+                    if pc.care() == cube.care() {
+                        return Some(s);
+                    }
+                    if fallback.is_none() {
+                        fallback = Some(s);
+                    }
+                }
+            }
+        }
+        fallback
+    }
+
+    /// Drains the merge worklist: every popped live cube is merged with a
+    /// distance-1 partner if one exists (the result is re-inserted, which
+    /// re-enqueues it and may cascade through distance-0 cancellation).
+    /// Removals never create new distance-1 pairs among the survivors, so
+    /// processing each insertion once is exhaustive.
+    fn drain_merges(&mut self) {
+        while let Some(slot) = self.pop_merge() {
+            self.queued[slot] = false;
+            let Some((cube, mask)) = self.slots[slot] else {
+                continue; // stale entry: the cube was rewritten away
+            };
+            if let Some(partner) = self.find_merge_partner(slot, cube, mask) {
+                let (pc, _) = self.slots[partner].expect("index entries are live");
+                let merged = cube
+                    .merge_distance_one(&pc)
+                    .expect("wildcard bucket mates are at distance 1");
+                self.detach(slot);
+                self.detach(partner);
+                self.insert(merged, mask);
+            }
+        }
+    }
+
+    /// Whether inserting `cube` with `mask` would immediately reduce the
+    /// cube count: an identical cube exists (any mask — the masks XOR), or
+    /// a same-mask distance-1 partner exists. `excl` are the pair being
+    /// rewritten, which is about to leave the store.
+    fn has_reduction_partner(&self, cube: &Cube, mask: u64, excl: [usize; 2]) -> bool {
+        if let Some(&s) = self.exact.get(cube) {
+            if !excl.contains(&s) {
+                return true;
+            }
+        }
+        for v in 0..self.num_vars as u32 {
+            let key = (mask, v, cube.without_var(v as usize));
+            if let Some(bucket) = self.wildcard.get(&key) {
+                if bucket.iter().any(|s| !excl.contains(s)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Marks every live cube dirty (used to seed a diversification sweep
+    /// after the incremental worklist has run dry).
+    fn mark_all_dirty(&mut self) {
+        for slot in 0..self.slots.len() {
+            if self.slots[slot].is_some() {
+                self.mark_dirty(slot);
+            }
+        }
+    }
+
+    /// One exorlink sweep over the cubes touched since the last sweep.
+    /// With `zero_gain`, rewrites that keep the literal count are accepted
+    /// too (EXORCISM-4's diversification move: it perturbs the cover at
+    /// zero cost so later sweeps can find reductions the greedy path
+    /// missed). Returns whether any rewrite was accepted.
+    ///
+    /// The dirty slots are bucketed by output mask so each mask group is
+    /// snapshotted once per sweep, not once per dirty cube. Cubes created
+    /// mid-sweep are missing from the snapshots; they are dirty and get
+    /// their turn next sweep.
+    fn exorlink_sweep(&mut self, zero_gain: bool) -> bool {
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut by_mask: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        for slot in dirty {
+            self.dirty_flag[slot] = false;
+            if let Some((_, mask)) = self.slots[slot] {
+                by_mask.entry(mask).or_default().push(slot);
+            }
+        }
+        let mut changed = false;
+        for (mask, dirty_slots) in by_mask {
+            let Some(group) = self.groups.get(&mask) else {
+                continue;
+            };
+            let mut snapshot: Vec<usize> = group.iter().copied().collect();
+            // Hash-set order is deterministic but arbitrary; sort so
+            // results do not depend on the groups' internal layout.
+            snapshot.sort_unstable();
+            if self.scan_rev {
+                snapshot.reverse();
+            }
+            for slot in dirty_slots {
+                let Some((cube, m)) = self.slots[slot] else {
+                    continue; // rewritten away earlier in this sweep
+                };
+                if m != mask {
+                    continue; // re-masked by a distance-0 cancellation
+                }
+                changed |= self.try_exorlink(slot, cube, mask, &snapshot, zero_gain);
+            }
+        }
+        changed
+    }
+
+    /// Tries to exorlink `slot` with a distance-2 cube of the same mask.
+    /// A rewrite is accepted when it strictly reduces the literal count or
+    /// when a rewritten cube has an immediate distance-0/1 reduction
+    /// partner (the follow-up merge is performed right away, so every
+    /// acceptance strictly decreases `(cube count, literal count)`
+    /// lexicographically — the loop cannot cycle).
+    fn try_exorlink(
+        &mut self,
+        slot: usize,
+        cube: Cube,
+        mask: u64,
+        candidates: &[usize],
+        zero_gain: bool,
+    ) -> bool {
+        let lits = cube.num_literals();
+        for &j in candidates {
+            if j == slot {
+                continue;
+            }
+            // The shared snapshot may hold slots that earlier rewrites in
+            // this sweep killed or re-masked.
+            let Some((cj, mj)) = self.slots[j] else {
+                continue;
+            };
+            if mj != mask {
+                continue;
+            }
+            // Signature filter: distance-2 cubes differ in at most two
+            // care-mask bits and at most two literals.
+            if (cube.care() ^ cj.care()).count_ones() > 2 {
+                continue;
+            }
+            let lits_j = cj.num_literals();
+            if lits.abs_diff(lits_j) > 2 {
+                continue;
+            }
+            if cube.distance(&cj) != 2 {
+                continue;
+            }
+            for which in 0..2 {
+                let Some((a, b)) = cube.exorlink2(&cj, which) else {
+                    continue;
+                };
+                let new_lits = a.num_literals() + b.num_literals();
+                let accept = new_lits < lits + lits_j
+                    || (zero_gain && new_lits == lits + lits_j)
+                    || self.has_reduction_partner(&a, mask, [slot, j])
+                    || self.has_reduction_partner(&b, mask, [slot, j]);
+                if accept {
+                    self.detach(slot);
+                    self.detach(j);
+                    self.insert(a, mask);
+                    self.insert(b, mask);
+                    self.drain_merges();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Consumes the store into a sorted cube list (sorted so the result is
+    /// independent of slot allocation order).
+    fn into_cubes(self) -> Vec<(Cube, u64)> {
+        let mut out: Vec<(Cube, u64)> = self.slots.into_iter().flatten().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+fn minimize_indexed(esop: &mut MultiEsop, options: &ExorcismOptions) {
+    if options.max_rounds == 0 {
+        esop.dedupe();
+        return;
+    }
+    // The greedy loop is order-sensitive: different orders reach
+    // different local optima. Run a few diversified starts — insertion
+    // order (input / reversed / deterministic shuffles), index scan
+    // direction (start bit 0) and merge-worklist discipline (start bit 1)
+    // — and keep the smallest cover by (cube count, literal count). On
+    // covers small enough to afford it, the naive-replay start runs too,
+    // so the result is never worse than the naive oracle's.
+    let within_restart_budget = esop.len() <= options.restart_cube_limit;
+    let mut best: Option<Vec<(Cube, u64)>> =
+        within_restart_budget.then(|| run_naive_replay(esop.num_vars(), esop.cubes(), options));
+    let starts = if within_restart_budget {
+        options.restarts.clamp(1, 16)
+    } else {
+        1
+    };
+    for start in 0..starts {
+        let mut seed: Vec<(Cube, u64)> = esop.cubes().to_vec();
+        match start {
+            0 => {}
+            1 => seed.reverse(),
+            s => shuffle(&mut seed, s as u64),
+        }
+        let cubes = run_indexed(
+            esop.num_vars(),
+            &seed,
+            options,
+            start % 2 == 1,
+            (start / 2) % 2 == 1,
+        );
+        let better = match &best {
+            None => true,
+            Some(b) => cover_cost(&cubes) < cover_cost(b),
+        };
+        if better {
+            best = Some(cubes);
+        }
+        if best.as_ref().is_some_and(Vec::is_empty) {
+            break;
+        }
+    }
+    let cubes = best.expect("at least one start ran");
+    *esop = MultiEsop::from_cubes(esop.num_vars(), esop.num_outputs(), cubes);
+}
+
+/// Fisher–Yates with a seed-determined `StdRng` stream: deterministic
+/// per-start insertion orders for the diversified restarts.
+fn shuffle(cubes: &mut [(Cube, u64)], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for i in (1..cubes.len()).rev() {
+        let j = rng.gen_range(0..i as u64 + 1) as usize;
+        cubes.swap(i, j);
+    }
+}
+
+/// Cover quality: fewer cubes first, then fewer literals.
+fn cover_cost(cubes: &[(Cube, u64)]) -> (usize, usize) {
+    (
+        cubes.len(),
+        cubes.iter().map(|(c, _)| c.num_literals()).sum(),
+    )
+}
+
+/// One start of the indexed engine; returns the minimized, sorted cover.
+fn run_indexed(
+    num_vars: usize,
+    seed: &[(Cube, u64)],
+    options: &ExorcismOptions,
+    scan_rev: bool,
+    lifo: bool,
+) -> Vec<(Cube, u64)> {
+    let mut index = CubeIndex::new(num_vars, scan_rev, lifo);
+    for &(c, m) in seed {
+        index.insert(c, m);
+    }
+    index.drain_merges();
+    if options.exorlink2 {
+        // Best cost seen at a greedy fixpoint: diversification continues
+        // only while it keeps paying off within a small stale budget —
+        // zero-gain moves can ping-pong forever otherwise.
+        let mut best_fixpoint_cost = (usize::MAX, usize::MAX);
+        let mut stale = 0;
+        for _ in 0..options.max_rounds {
+            if !index.exorlink_sweep(false) {
+                // The worklist ran dry at a greedy fixpoint: perturb it
+                // with a zero-gain sweep (which cannot worsen any count).
+                let cost = index.cost();
+                if cost < best_fixpoint_cost {
+                    best_fixpoint_cost = cost;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale > 3 {
+                        break;
+                    }
+                }
+                index.mark_all_dirty();
+                if !index.exorlink_sweep(true) {
+                    break;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(
+        index.live(),
+        index.slots.iter().flatten().count(),
+        "exact map out of sync with the slot store"
+    );
+    index.into_cubes()
+}
+
+// ---------------------------------------------------------------------------
+// Exact naive replay, index-accelerated
+// ---------------------------------------------------------------------------
+
+/// Position-keyed wildcard index over a cube array: bucket
+/// `(mask, var, cube-with-var-wildcarded)` holds the array positions whose
+/// entry matches the key, so a position's same-mask distance-≤1 mates are
+/// found in `O(num_vars)` lookups. Cubes with literals outside
+/// `0..num_vars` are not indexed correctly (the standard [`MultiEsop`]
+/// invariant).
+struct PosIndex {
+    num_vars: usize,
+    buckets: FxHashMap<WildKey, Vec<usize>>,
+}
+
+impl PosIndex {
+    fn build(arr: &[(Cube, u64)], num_vars: usize) -> Self {
+        let mut idx = Self {
+            num_vars,
+            buckets: FxHashMap::default(),
+        };
+        for (p, &(c, m)) in arr.iter().enumerate() {
+            idx.add(p, c, m);
+        }
+        idx
+    }
+
+    fn add(&mut self, pos: usize, cube: Cube, mask: u64) {
+        for v in 0..self.num_vars as u32 {
+            self.buckets
+                .entry((mask, v, cube.without_var(v as usize)))
+                .or_default()
+                .push(pos);
+        }
+    }
+
+    fn remove(&mut self, pos: usize, cube: Cube, mask: u64) {
+        for v in 0..self.num_vars as u32 {
+            let key = (mask, v, cube.without_var(v as usize));
+            if let Entry::Occupied(mut e) = self.buckets.entry(key) {
+                e.get_mut().retain(|&p| p != pos);
+                if e.get().is_empty() {
+                    e.remove();
+                }
+            }
+        }
+    }
+
+    /// All positions at distance exactly 1 (same mask) from `arr[pos]`.
+    /// Distance-0 mates — identical cubes, legal mid-phase — are excluded,
+    /// exactly as the naive scan skips them. A distance-1 mate shares
+    /// exactly one wildcard key, so the result is duplicate-free.
+    fn merge_partners(&self, arr: &[(Cube, u64)], pos: usize) -> Vec<usize> {
+        let (cube, mask) = arr[pos];
+        let mut out = Vec::new();
+        for v in 0..self.num_vars as u32 {
+            if let Some(bucket) = self.buckets.get(&(mask, v, cube.without_var(v as usize))) {
+                out.extend(
+                    bucket
+                        .iter()
+                        .copied()
+                        .filter(|&p| p != pos && arr[p].0 != cube),
+                );
+            }
+        }
+        out
+    }
+
+    /// Whether a position outside `excl` holds a same-mask cube at
+    /// distance ≤ 1 from `cube` (which need not be in the array) — the
+    /// naive exorlink unlock lookahead, in `O(num_vars)` lookups.
+    fn has_mate(&self, cube: Cube, mask: u64, excl: [usize; 2]) -> bool {
+        for v in 0..self.num_vars as u32 {
+            if let Some(bucket) = self.buckets.get(&(mask, v, cube.without_var(v as usize))) {
+                if bucket.iter().any(|p| !excl.contains(p)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Replays [`naive_merge_distance_one`] exactly: repeatedly merge the
+/// lexicographically first `(i, j)` distance-1 equal-mask pair (which is
+/// what the naive restart scan finds), mirroring its
+/// `cubes[j] = merged; cubes.swap_remove(i)` array surgery — but find each
+/// pair through the position index and a lazily verified candidate set
+/// instead of an `O(n²)` rescan.
+fn replay_merge_phase(arr: &mut Vec<(Cube, u64)>, num_vars: usize) -> bool {
+    let mut idx = PosIndex::build(arr, num_vars);
+    // Invariant: every position with at least one merge partner is in
+    // `cands` (the set may also hold already-pairless positions, verified
+    // and dropped on pop). So `min(cands)` with a non-empty partner set is
+    // the naive scan's `i`, and all its partners lie above it.
+    let mut cands: std::collections::BTreeSet<usize> = (0..arr.len()).collect();
+    let mut changed = false;
+    while let Some(&i) = cands.iter().next() {
+        let partners = idx.merge_partners(arr, i);
+        let Some(&j) = partners.iter().min() else {
+            cands.remove(&i);
+            continue;
+        };
+        debug_assert!(j > i, "a lower partner would itself be in cands");
+        let mask = arr[i].1;
+        let merged = arr[i]
+            .0
+            .merge_distance_one(&arr[j].0)
+            .expect("index mates are at distance 1");
+        // Positions whose content or existence changes: i (receives the
+        // swapped-in last element), j (receives the merged cube), and the
+        // last position (vacated).
+        let last = arr.len() - 1;
+        let mut affected = vec![i, j, last];
+        affected.sort_unstable();
+        affected.dedup();
+        for &p in &affected {
+            let (c, m) = arr[p];
+            idx.remove(p, c, m);
+        }
+        arr[j] = (merged, mask);
+        arr.swap_remove(i);
+        changed = true;
+        for &p in &affected {
+            if p < arr.len() {
+                let (c, m) = arr[p];
+                idx.add(p, c, m);
+            } else {
+                cands.remove(&p);
+            }
+        }
+        // The changed positions may pair with anything, including
+        // positions already verified pairless — requeue both sides.
+        for &p in &affected {
+            if p < arr.len() {
+                cands.insert(p);
+                for q in idx.merge_partners(arr, p) {
+                    cands.insert(q);
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Replays [`naive_exorlink_pass`] exactly — same pair order, same
+/// `which` order, same acceptance rule — with the `O(n)` unlock lookahead
+/// served by [`PosIndex::has_mate`].
+fn replay_exorlink_pass(arr: &mut [(Cube, u64)], num_vars: usize) -> bool {
+    let mut idx = PosIndex::build(arr, num_vars);
+    let mut changed = false;
+    let n = arr.len();
+    'pairs: for i in 0..n {
+        for j in (i + 1)..n {
+            let (ci, mi) = arr[i];
+            let (cj, mj) = arr[j];
+            if mi != mj || ci.distance(&cj) != 2 {
+                continue;
+            }
+            for which in 0..2 {
+                let Some((a, b)) = ci.exorlink2(&cj, which) else {
+                    continue;
+                };
+                let current_lits = ci.num_literals() + cj.num_literals();
+                let new_lits = a.num_literals() + b.num_literals();
+                let unlocks = idx.has_mate(a, mi, [i, j]) || idx.has_mate(b, mi, [i, j]);
+                if unlocks || new_lits < current_lits {
+                    idx.remove(i, ci, mi);
+                    idx.remove(j, cj, mj);
+                    arr[i] = (a, mi);
+                    arr[j] = (b, mi);
+                    idx.add(i, a, mi);
+                    idx.add(j, b, mi);
+                    changed = true;
+                    continue 'pairs;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Exact replay of [`minimize_naive`]'s round structure; bit-identical
+/// output (pinned by the differential test suite).
+fn run_naive_replay(
+    num_vars: usize,
+    seed: &[(Cube, u64)],
+    options: &ExorcismOptions,
+) -> Vec<(Cube, u64)> {
+    let mut arr = xor_dedupe_sorted(seed.to_vec());
+    for _ in 0..options.max_rounds {
+        let mut changed = replay_merge_phase(&mut arr, num_vars);
+        if options.exorlink2 {
+            changed |= replay_exorlink_pass(&mut arr, num_vars);
+        }
+        arr = xor_dedupe_sorted(arr);
+        if !changed {
+            break;
+        }
+    }
+    arr
+}
+
+// ---------------------------------------------------------------------------
+// Naive restart engine (differential-testing oracle)
+// ---------------------------------------------------------------------------
+
+fn minimize_naive(esop: &mut MultiEsop, options: &ExorcismOptions) {
     esop.dedupe();
     for _ in 0..options.max_rounds {
-        let mut changed = merge_distance_one(esop);
+        let mut changed = naive_merge_distance_one(esop);
         if options.exorlink2 {
-            changed |= exorlink_pass(esop);
+            changed |= naive_exorlink_pass(esop);
         }
         esop.dedupe();
         if !changed {
             break;
         }
     }
-    initial.saturating_sub(esop.len())
 }
 
-/// Merges all distance-1 pairs with identical output masks. Returns whether
-/// anything changed.
-fn merge_distance_one(esop: &mut MultiEsop) -> bool {
+/// Merges all distance-1 pairs with identical output masks by restarting a
+/// full `O(n²)` pair scan after every merge. Returns whether anything
+/// changed.
+fn naive_merge_distance_one(esop: &mut MultiEsop) -> bool {
     let mut changed = false;
     loop {
         let cubes = esop.cubes_mut();
@@ -99,8 +860,9 @@ fn merge_distance_one(esop: &mut MultiEsop) -> bool {
 }
 
 /// One sweep of exorlink-2 rewrites; a rewrite is kept when it triggers a
-/// follow-up merge (cube count reduction) or lowers the literal count.
-fn exorlink_pass(esop: &mut MultiEsop) -> bool {
+/// follow-up merge (cube count reduction, checked by an `O(n)` lookahead)
+/// or lowers the literal count.
+fn naive_exorlink_pass(esop: &mut MultiEsop) -> bool {
     let mut changed = false;
     let n = esop.len();
     'pairs: for i in 0..n {
@@ -144,27 +906,46 @@ mod tests {
         MultiEsop::from_single_outputs(&[Esop::from_truth_table(tt)])
     }
 
+    fn engines() -> [ExorcismOptions; 2] {
+        [
+            ExorcismOptions::default(),
+            ExorcismOptions {
+                engine: ExorcismEngine::Naive,
+                ..ExorcismOptions::default()
+            },
+        ]
+    }
+
     #[test]
     fn minimizes_single_variable_function() {
         // All 8 minterms of x1 over 4 vars must collapse to one cube.
-        let tt = TruthTable::from_fn(4, |x| (x >> 1) & 1 == 1);
-        let mut esop = from_minterms(&tt);
-        minimize_esop(&mut esop, &ExorcismOptions::default());
-        assert_eq!(esop.len(), 1);
-        assert_eq!(esop.to_truth_table().outputs()[0], tt);
+        for options in engines() {
+            let tt = TruthTable::from_fn(4, |x| (x >> 1) & 1 == 1);
+            let mut esop = from_minterms(&tt);
+            minimize_esop(&mut esop, &options);
+            assert_eq!(esop.len(), 1, "{:?}", options.engine);
+            assert_eq!(esop.to_truth_table().outputs()[0], tt);
+        }
     }
 
     #[test]
     fn preserves_function_on_random_inputs() {
-        for seed in 0..10u64 {
-            let tt = TruthTable::from_fn(5, |x| {
-                (x.wrapping_mul(0x9E3779B9).wrapping_add(seed * 131) >> 2) & 1 == 1
-            });
-            let mut esop = from_minterms(&tt);
-            let before = esop.len();
-            minimize_esop(&mut esop, &ExorcismOptions::default());
-            assert_eq!(esop.to_truth_table().outputs()[0], tt, "seed {seed}");
-            assert!(esop.len() <= before);
+        for options in engines() {
+            for seed in 0..10u64 {
+                let tt = TruthTable::from_fn(5, |x| {
+                    (x.wrapping_mul(0x9E3779B9).wrapping_add(seed * 131) >> 2) & 1 == 1
+                });
+                let mut esop = from_minterms(&tt);
+                let before = esop.len();
+                minimize_esop(&mut esop, &options);
+                assert_eq!(
+                    esop.to_truth_table().outputs()[0],
+                    tt,
+                    "seed {seed} {:?}",
+                    options.engine
+                );
+                assert!(esop.len() <= before);
+            }
         }
     }
 
@@ -172,44 +953,83 @@ mod tests {
     fn exorlink_enables_further_merges() {
         // Three minterms of 2 vars: 00, 01, 10. Distance-1 merges give one
         // pair; exorlink finishes the job: result is 2 cubes (e.g. x̄ ⊕ x ȳ).
-        let tt = TruthTable::from_fn(2, |x| x != 3);
-        let mut esop = from_minterms(&tt);
-        minimize_esop(&mut esop, &ExorcismOptions::default());
-        assert!(esop.len() <= 2);
-        assert_eq!(esop.to_truth_table().outputs()[0], tt);
+        for options in engines() {
+            let tt = TruthTable::from_fn(2, |x| x != 3);
+            let mut esop = from_minterms(&tt);
+            minimize_esop(&mut esop, &options);
+            assert!(esop.len() <= 2, "{:?}", options.engine);
+            assert_eq!(esop.to_truth_table().outputs()[0], tt);
+        }
     }
 
     #[test]
     fn respects_output_masks() {
         // Identical cubes feeding different outputs must not merge.
-        let c0 = qda_logic::cube::Cube::minterm(2, 1);
-        let c1 = qda_logic::cube::Cube::minterm(2, 2);
-        let mut esop = MultiEsop::from_cubes(2, 2, vec![(c0, 0b01), (c1, 0b10)]);
-        let before = esop.to_truth_table();
-        minimize_esop(&mut esop, &ExorcismOptions::default());
-        assert_eq!(esop.to_truth_table(), before);
-        assert_eq!(esop.len(), 2);
+        for options in engines() {
+            let c0 = qda_logic::cube::Cube::minterm(2, 1);
+            let c1 = qda_logic::cube::Cube::minterm(2, 2);
+            let mut esop = MultiEsop::from_cubes(2, 2, vec![(c0, 0b01), (c1, 0b10)]);
+            let before = esop.to_truth_table();
+            minimize_esop(&mut esop, &options);
+            assert_eq!(esop.to_truth_table(), before);
+            assert_eq!(esop.len(), 2, "{:?}", options.engine);
+        }
     }
 
     #[test]
     fn multi_output_minimization_preserves_all_outputs() {
-        let t0 = TruthTable::from_fn(4, |x| x % 3 == 0);
-        let t1 = TruthTable::from_fn(4, |x| x % 3 == 1);
-        let mut esop = MultiEsop::from_single_outputs(&[
-            Esop::from_truth_table(&t0),
-            Esop::from_truth_table(&t1),
-        ]);
-        minimize_esop(&mut esop, &ExorcismOptions::default());
-        let tts = esop.to_truth_table();
-        assert_eq!(tts.outputs()[0], t0);
-        assert_eq!(tts.outputs()[1], t1);
+        for options in engines() {
+            let t0 = TruthTable::from_fn(4, |x| x % 3 == 0);
+            let t1 = TruthTable::from_fn(4, |x| x % 3 == 1);
+            let mut esop = MultiEsop::from_single_outputs(&[
+                Esop::from_truth_table(&t0),
+                Esop::from_truth_table(&t1),
+            ]);
+            minimize_esop(&mut esop, &options);
+            let tts = esop.to_truth_table();
+            assert_eq!(tts.outputs()[0], t0, "{:?}", options.engine);
+            assert_eq!(tts.outputs()[1], t1);
+        }
     }
 
     #[test]
     fn reports_eliminated_count() {
-        let tt = TruthTable::from_fn(3, |x| x < 4); // = x̄2: 4 minterms → 1 cube
-        let mut esop = from_minterms(&tt);
-        let eliminated = minimize_esop(&mut esop, &ExorcismOptions::default());
-        assert_eq!(eliminated, 3);
+        for options in engines() {
+            let tt = TruthTable::from_fn(3, |x| x < 4); // = x̄2: 4 minterms → 1 cube
+            let mut esop = from_minterms(&tt);
+            let eliminated = minimize_esop(&mut esop, &options);
+            assert_eq!(eliminated, 3, "{:?}", options.engine);
+        }
+    }
+
+    #[test]
+    fn zero_rounds_only_dedupes() {
+        for engine in [ExorcismEngine::Indexed, ExorcismEngine::Naive] {
+            let options = ExorcismOptions {
+                max_rounds: 0,
+                engine,
+                ..ExorcismOptions::default()
+            };
+            let c = Cube::minterm(3, 5);
+            let d = Cube::minterm(3, 4); // distance 1 from c — must survive
+            let mut esop = MultiEsop::from_cubes(3, 1, vec![(c, 1), (c, 1), (d, 1)]);
+            minimize_esop(&mut esop, &options);
+            assert_eq!(esop.len(), 1, "{engine:?}");
+            assert_eq!(esop.cubes()[0], (d, 1));
+        }
+    }
+
+    #[test]
+    fn duplicate_masks_cancel_through_the_index() {
+        // Same cube on the same output twice cancels to nothing; on two
+        // different outputs the masks combine.
+        let c = Cube::minterm(2, 3);
+        let mut esop = MultiEsop::from_cubes(2, 2, vec![(c, 0b01), (c, 0b01)]);
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert!(esop.is_empty());
+        let mut esop = MultiEsop::from_cubes(2, 2, vec![(c, 0b01), (c, 0b10)]);
+        minimize_esop(&mut esop, &ExorcismOptions::default());
+        assert_eq!(esop.len(), 1);
+        assert_eq!(esop.cubes()[0].1, 0b11);
     }
 }

@@ -13,7 +13,7 @@
 //!    input space fits in the simulation vectors.
 
 use qda_logic::aig::{Aig, Lit};
-use std::collections::HashMap;
+use qda_logic::hash::FxHashMap;
 
 /// Options controlling [`optimize_aig`].
 ///
@@ -166,7 +166,7 @@ pub fn fraig_exact(aig: &Aig) -> Aig {
         *m = Lit::new(i, false);
     }
     // Canonical table (with complement normalization: lowest bit clear).
-    let mut canon: HashMap<Vec<u64>, Lit> = HashMap::new();
+    let mut canon: FxHashMap<Vec<u64>, Lit> = FxHashMap::default();
     canon.insert(vec![0; words_per_node], Lit::FALSE);
     for pi in 0..n_in {
         let tt: Vec<u64> = (0..words_per_node)

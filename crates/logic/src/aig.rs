@@ -10,7 +10,7 @@
 //! node 0 is the constant false, nodes `1..=num_pis` are the primary
 //! inputs. Structural hashing makes node construction canonical.
 
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 use std::fmt;
 
 /// A literal: a reference to an AIG node together with a complement flag.
@@ -87,7 +87,7 @@ pub struct Aig {
     fanins: Vec<[Lit; 2]>,
     num_pis: usize,
     pos: Vec<Lit>,
-    strash: HashMap<(Lit, Lit), usize>,
+    strash: FxHashMap<(Lit, Lit), usize>,
 }
 
 impl Aig {
@@ -97,7 +97,7 @@ impl Aig {
             fanins: vec![[Lit::FALSE; 2]; num_pis + 1],
             num_pis,
             pos: Vec::new(),
-            strash: HashMap::new(),
+            strash: FxHashMap::default(),
         }
     }
 

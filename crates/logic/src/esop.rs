@@ -240,13 +240,10 @@ impl MultiEsop {
     }
 
     /// Merges duplicate cubes (XOR-ing their masks) and drops cubes with an
-    /// empty output mask.
+    /// empty output mask. Leaves the cubes sorted by `(cube, mask)` — see
+    /// [`xor_dedupe_sorted`].
     pub fn dedupe(&mut self) {
-        let mut map = std::collections::BTreeMap::new();
-        for &(c, m) in &self.cubes {
-            *map.entry(c).or_insert(0u64) ^= m;
-        }
-        self.cubes = map.into_iter().filter(|&(_, m)| m != 0).collect();
+        self.cubes = xor_dedupe_sorted(std::mem::take(&mut self.cubes));
     }
 
     /// Single ESOP restricted to output `j`.
@@ -259,6 +256,21 @@ impl MultiEsop {
             .collect();
         Esop::from_cubes(self.num_vars, cubes)
     }
+}
+
+/// The canonical XOR dedupe over `(cube, output mask)` pairs: duplicate
+/// cubes merge by XOR-ing their masks, cubes whose mask cancels to zero
+/// are dropped, and the result comes back sorted by `(cube, mask)`.
+///
+/// This is both [`MultiEsop::dedupe`] and the array-state contract the
+/// exorcism replay engine (`qda-classical`) relies on — keeping one
+/// implementation makes their equivalence structural.
+pub fn xor_dedupe_sorted(cubes: Vec<(Cube, u64)>) -> Vec<(Cube, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for (c, m) in cubes {
+        *map.entry(c).or_insert(0u64) ^= m;
+    }
+    map.into_iter().filter(|&(_, m)| m != 0).collect()
 }
 
 #[cfg(test)]

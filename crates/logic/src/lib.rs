@@ -11,7 +11,9 @@
 //! * [`aig::Aig`] — And-inverter graphs (the multi-level workhorse of the
 //!   logic-synthesis level),
 //! * [`xmg::Xmg`] — XOR-majority graphs (the multi-level representation used
-//!   by hierarchical reversible synthesis).
+//!   by hierarchical reversible synthesis),
+//! * [`hash`] — the FxHash-style fast hasher backing every hot map in the
+//!   synthesis mid-end (strash tables, BDD caches, cube indexes).
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@
 pub mod aig;
 pub mod cube;
 pub mod esop;
+pub mod hash;
 pub mod npn;
 pub mod sim;
 pub mod tt;

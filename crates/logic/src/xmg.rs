@@ -13,8 +13,8 @@
 //! AND and OR are the special cases `MAJ(a, b, 0)` and `MAJ(a, b, 1)`.
 
 use crate::aig::Lit;
+use crate::hash::FxHashMap;
 use crate::tt::{MultiTruthTable, TruthTable};
-use std::collections::HashMap;
 use std::fmt;
 
 /// An internal XMG node.
@@ -50,7 +50,7 @@ pub struct Xmg {
     nodes: Vec<XmgNode>,
     num_pis: usize,
     pos: Vec<Lit>,
-    strash: HashMap<XmgNode, usize>,
+    strash: FxHashMap<XmgNode, usize>,
 }
 
 impl Xmg {
@@ -62,7 +62,7 @@ impl Xmg {
             nodes: vec![filler; num_pis + 1],
             num_pis,
             pos: Vec::new(),
-            strash: HashMap::new(),
+            strash: FxHashMap::default(),
         }
     }
 
