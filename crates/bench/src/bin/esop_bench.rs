@@ -12,7 +12,8 @@
 //!   collapsed to BDDs and extracted via PSDKRO expansion, the seed shape
 //!   the `EsopFlow` actually feeds exorcism;
 //! * `FLOW INTDIV(n)` — the end-to-end `EsopFlow` with its per-stage split
-//!   (parse+elab / optimize / synthesis / verification), naive vs indexed
+//!   (parse+elab / optimize / synthesis / post-opt / verification), naive
+//!   vs indexed
 //!   exorcism inside.
 //!
 //! Results go to `BENCH_esop.json`: one row per (workload, engine) with

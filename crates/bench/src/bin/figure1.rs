@@ -59,6 +59,7 @@ fn main() {
             "parse+elab",
             "optimize",
             "synthesis",
+            "post-opt",
             "verify",
             "total",
         ],

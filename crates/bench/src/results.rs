@@ -42,6 +42,19 @@
 //!  "qubits": 12, "t_count": 18101, "gates": 2048, "runtime_s": 0.0891,
 //!  "cubes_in": 3560}
 //! ```
+//!
+//! Circuit-optimizer benches (`opt_bench`) reuse the shape once more:
+//! `gates`/`t_count` are the **post-optimization** figures, `gates_in` /
+//! `t_count_in` the raw synthesis output, and `rewrites` counts the
+//! accepted applications per rule:
+//!
+//! ```json
+//! {"design": "INTDIV-HIER", "n": 6, "flow": "peephole",
+//!  "qubits": 56, "t_count": 322, "gates": 306, "runtime_s": 0.004,
+//!  "gates_in": 380, "t_count_in": 322,
+//!  "rewrites": {"cancel": 30, "merge_polarity": 2, "merge_subset": 1,
+//!               "not_absorb": 4}}
+//! ```
 
 use crate::json::Json;
 use qda_core::flow::{FlowOutcome, StageTimings};
@@ -81,6 +94,21 @@ pub struct BenchData {
     /// `gates` for the minimized cube count (one Toffoli per cube) and
     /// `t_count` for the minimized literal count.
     pub cubes_in: Option<u64>,
+    /// Pre-optimization cost and per-rule rewrite counts, for circuit-
+    /// optimizer benches (`opt_bench`); those rows carry the optimized
+    /// cost in `gates`/`t_count`.
+    pub opt: Option<OptRowData>,
+}
+
+/// The before-figures and rewrite counters of an `opt_bench` row.
+#[derive(Clone, Copy, Debug)]
+pub struct OptRowData {
+    /// Gate count of the raw synthesis output.
+    pub gates_in: usize,
+    /// T-count of the raw synthesis output.
+    pub t_count_in: u64,
+    /// Accepted rewrites per rule.
+    pub stats: qda_rev::opt::OptStats,
 }
 
 impl BenchRow {
@@ -98,6 +126,7 @@ impl BenchRow {
                 stages: Some(outcome.stages),
                 states_per_sec: None,
                 cubes_in: None,
+                opt: None,
             }),
         }
     }
@@ -122,6 +151,7 @@ impl BenchRow {
                 stages: None,
                 states_per_sec: None,
                 cubes_in: None,
+                opt: None,
             }),
         }
     }
@@ -150,6 +180,7 @@ impl BenchRow {
                 stages: None,
                 states_per_sec: Some(states as f64 / runtime_s.max(f64::EPSILON)),
                 cubes_in: None,
+                opt: None,
             }),
         }
     }
@@ -181,6 +212,39 @@ impl BenchRow {
                 stages: None,
                 states_per_sec: None,
                 cubes_in: Some(cubes_in as u64),
+                opt: None,
+            }),
+        }
+    }
+
+    /// A row for a circuit-optimization measurement (`opt_bench`): the
+    /// peephole pass took a `qubits`-line circuit from `before` to
+    /// `after` in `runtime_s` seconds, applying the rewrites in `stats`.
+    pub fn from_opt(
+        design: &str,
+        n: usize,
+        before: &qda_rev::cost::CircuitCost,
+        after: &qda_rev::cost::CircuitCost,
+        stats: qda_rev::opt::OptStats,
+        runtime_s: f64,
+    ) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: "peephole".to_string(),
+            data: Ok(BenchData {
+                qubits: after.qubits,
+                t_count: after.t_count,
+                gates: after.gates,
+                runtime_s,
+                stages: None,
+                states_per_sec: None,
+                cubes_in: None,
+                opt: Some(OptRowData {
+                    gates_in: before.gates,
+                    t_count_in: before.t_count,
+                    stats,
+                }),
             }),
         }
     }
@@ -215,6 +279,7 @@ impl BenchRow {
                             ("parse_elaborate_s", secs(stages.parse_elaborate)),
                             ("optimize_s", secs(stages.optimize)),
                             ("synthesis_s", secs(stages.synthesis)),
+                            ("post_opt_s", secs(stages.post_opt)),
                             ("verification_s", secs(stages.verification)),
                         ]),
                     ));
@@ -224,6 +289,19 @@ impl BenchRow {
                 }
                 if let Some(cubes) = d.cubes_in {
                     pairs.push(("cubes_in".to_string(), Json::Int(cubes)));
+                }
+                if let Some(opt) = &d.opt {
+                    pairs.push(("gates_in".to_string(), Json::Int(opt.gates_in as u64)));
+                    pairs.push(("t_count_in".to_string(), Json::Int(opt.t_count_in)));
+                    pairs.push((
+                        "rewrites".to_string(),
+                        Json::object([
+                            ("cancel", Json::Int(opt.stats.cancellations)),
+                            ("merge_polarity", Json::Int(opt.stats.polarity_merges)),
+                            ("merge_subset", Json::Int(opt.stats.subset_merges)),
+                            ("not_absorb", Json::Int(opt.stats.not_absorptions)),
+                        ]),
+                    ));
                 }
             }
             Err(message) => pairs.push(("error".to_string(), Json::from(message.as_str()))),
@@ -364,6 +442,32 @@ mod tests {
     }
 
     #[test]
+    fn opt_rows_carry_before_figures_and_rewrite_counts() {
+        let mut before = qda_rev::circuit::Circuit::new(3);
+        before.toffoli(0, 1, 2);
+        before.toffoli(0, 1, 2);
+        before.cnot(0, 2);
+        let out = qda_rev::opt::optimize(&before, &qda_rev::opt::OptOptions::default());
+        let mut r = BenchResults::new("opt");
+        r.push(BenchRow::from_opt(
+            "PAIR",
+            3,
+            &before.cost(),
+            &out.circuit.cost(),
+            out.stats,
+            0.001,
+        ));
+        let json = r.to_json();
+        assert!(json.contains(r#""gates_in": 3"#));
+        assert!(json.contains(r#""t_count_in": 14"#));
+        assert!(json.contains(r#""gates": 1"#));
+        assert!(json.contains(r#""cancel": 1"#));
+        assert!(json.contains(r#""merge_polarity": 0"#));
+        assert!(json.contains(r#""flow": "peephole""#));
+        assert!(!json.contains("cubes_in"));
+    }
+
+    #[test]
     fn outcome_rows_have_a_stage_breakdown() {
         use qda_core::design::Design;
         use qda_core::flow::{EsopFlow, Flow};
@@ -378,6 +482,7 @@ mod tests {
             "parse_elaborate_s",
             "optimize_s",
             "synthesis_s",
+            "post_opt_s",
             "verification_s",
             "t_count",
         ] {

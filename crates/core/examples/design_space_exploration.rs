@@ -111,6 +111,7 @@ fn main() {
             "parse+elab",
             "optimize",
             "synthesis",
+            "post-opt",
             "verify",
             "total",
         ],

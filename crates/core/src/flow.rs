@@ -16,6 +16,13 @@
 //! AIG to every flow ([`Flow::run_with_frontend`]); a [`FrontendCache`]
 //! memoizes it across flows and worker threads. [`Flow::run`] remains the
 //! self-contained entry point (it computes its own front end).
+//!
+//! The back of the pipeline is shared too: every flow routes its raw
+//! synthesis output through the post-synthesis peephole optimizer
+//! (`qda_rev::opt`, the `post_opt` flag, default on) before costing and
+//! verification. Each optimizer run is equivalence-checked against the
+//! unoptimized circuit by batch simulation, so a bad rewrite fails the
+//! flow ([`FlowError::PostOptUnsound`]) instead of skewing the tables.
 
 use crate::design::Design;
 use qda_classical::collapse::{collapse_to_bdds, CollapseError};
@@ -27,6 +34,7 @@ use qda_logic::aig::Aig;
 use qda_rev::circuit::Circuit;
 use qda_rev::cost::CircuitCost;
 use qda_rev::equiv::{verify_computes, VerifyOptions, VerifyOutcome};
+use qda_rev::opt::{optimize_checked, OptMismatch, OptOptions, OptStats};
 use qda_revsynth::embed::optimum_embedding;
 use qda_revsynth::esop::{synthesize_esop, EsopSynthOptions};
 use qda_revsynth::hierarchical::{synthesize_xmg, CleanupStrategy, HierarchicalOptions};
@@ -55,6 +63,13 @@ pub enum FlowError {
         /// The failing outcome.
         outcome: VerifyOutcome,
     },
+    /// The post-synthesis optimizer changed the circuit function — an
+    /// optimizer bug, caught by the batch-simulation equivalence check
+    /// before the rewritten circuit could be costed or reported.
+    PostOptUnsound {
+        /// The witness state and the two diverging end states.
+        witness: OptMismatch,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -65,6 +80,9 @@ impl fmt::Display for FlowError {
             FlowError::TooLarge { reason } => write!(f, "instance too large: {reason}"),
             FlowError::VerificationFailed { outcome } => {
                 write!(f, "verification failed: {outcome:?}")
+            }
+            FlowError::PostOptUnsound { witness } => {
+                write!(f, "post-synthesis optimization unsound: {witness}")
             }
         }
     }
@@ -99,6 +117,10 @@ pub struct StageTimings {
     /// Flow-specific synthesis (collapse/exorcism/mapping + reversible
     /// synthesis).
     pub synthesis: Duration,
+    /// Post-synthesis peephole optimization of the MPMCT circuit,
+    /// including its batch-simulation soundness check (zero when the
+    /// flow ran with `post_opt` off).
+    pub post_opt: Duration,
     /// Equivalence check of the synthesized circuit (bit-parallel batch
     /// simulation against the golden AIG).
     pub verification: Duration,
@@ -107,7 +129,7 @@ pub struct StageTimings {
 impl StageTimings {
     /// Sum of all stages — the flow's total runtime.
     pub fn total(&self) -> Duration {
-        self.parse_elaborate + self.optimize + self.synthesis + self.verification
+        self.parse_elaborate + self.optimize + self.synthesis + self.post_opt + self.verification
     }
 }
 
@@ -127,6 +149,9 @@ pub struct FlowOutcome {
     pub output_lines: Vec<usize>,
     /// Cost summary (qubits, T-count, gate counts).
     pub cost: CircuitCost,
+    /// Per-rule rewrite counts of the post-synthesis optimizer (`None`
+    /// when the flow ran with `post_opt` off).
+    pub opt_stats: Option<OptStats>,
     /// Wall-clock flow runtime (sum of [`FlowOutcome::stages`]).
     pub runtime: Duration,
     /// Per-stage runtime breakdown.
@@ -296,7 +321,8 @@ pub trait Flow: Send + Sync {
     }
 }
 
-/// Verifies a circuit against the design AIG and assembles the outcome.
+/// Optimizes (when requested) and verifies a circuit against the design
+/// AIG, then assembles the outcome.
 #[allow(clippy::too_many_arguments)]
 fn finish(
     design: &Design,
@@ -307,8 +333,22 @@ fn finish(
     frontend: &FrontendArtifacts,
     synthesis_start: Instant,
     check_clean: bool,
+    post_opt: bool,
 ) -> Result<FlowOutcome, FlowError> {
     let synthesis = synthesis_start.elapsed();
+    // Post-synthesis peephole optimization. Every run is equivalence-
+    // checked against the raw synthesis output by batch simulation over
+    // the full line space (ancillae included), so an optimizer bug
+    // aborts the flow with a witness instead of corrupting the report.
+    let (circuit, opt_stats, post_opt_time) = if post_opt {
+        let start = Instant::now();
+        match optimize_checked(&circuit, &OptOptions::default()) {
+            Ok(optimized) => (optimized.circuit, Some(optimized.stats), start.elapsed()),
+            Err(witness) => return Err(FlowError::PostOptUnsound { witness }),
+        }
+    } else {
+        (circuit, None, Duration::ZERO)
+    };
     let aig = &frontend.aig;
     // The bit-parallel batch engine makes a much larger verification
     // budget affordable than the scalar replay this stage started with
@@ -345,6 +385,7 @@ fn finish(
         parse_elaborate: frontend.parse_elaborate,
         optimize: frontend.optimize,
         synthesis,
+        post_opt: post_opt_time,
         verification: verification_start.elapsed(),
     };
     let cost = circuit.cost();
@@ -355,6 +396,7 @@ fn finish(
         input_lines,
         output_lines,
         cost,
+        opt_stats,
         runtime: stages.total(),
         stages,
         verification,
@@ -377,6 +419,8 @@ pub struct FunctionalFlow {
     pub direction: TbsDirection,
     /// Maximum embedded line count accepted (explicit permutation guard).
     pub max_lines: usize,
+    /// Run the post-synthesis peephole optimizer (default on).
+    pub post_opt: bool,
 }
 
 impl Default for FunctionalFlow {
@@ -385,6 +429,7 @@ impl Default for FunctionalFlow {
             optimize: OptimizeOptions::default(),
             direction: TbsDirection::Bidirectional,
             max_lines: 25,
+            post_opt: true,
         }
     }
 }
@@ -429,6 +474,7 @@ impl Flow for FunctionalFlow {
             frontend,
             start,
             false,
+            self.post_opt,
         )
     }
 }
@@ -463,6 +509,8 @@ pub struct EsopFlow {
     pub synth: EsopSynthOptions,
     /// BDD node budget for the collapse step.
     pub bdd_node_limit: usize,
+    /// Run the post-synthesis peephole optimizer (default on).
+    pub post_opt: bool,
 }
 
 impl EsopFlow {
@@ -476,6 +524,7 @@ impl EsopFlow {
                 min_sharers: 2,
             },
             bdd_node_limit: 2_000_000,
+            post_opt: true,
         }
     }
 }
@@ -514,6 +563,7 @@ impl Flow for EsopFlow {
             frontend,
             start,
             true,
+            self.post_opt,
         )
     }
 }
@@ -529,6 +579,8 @@ pub struct HierarchicalFlow {
     pub optimize: OptimizeOptions,
     /// Cleanup strategy and in-place XOR application.
     pub synth: HierarchicalOptions,
+    /// Run the post-synthesis peephole optimizer (default on).
+    pub post_opt: bool,
 }
 
 impl HierarchicalFlow {
@@ -540,6 +592,7 @@ impl HierarchicalFlow {
                 strategy,
                 inplace_xor: strategy == CleanupStrategy::Bennett,
             },
+            post_opt: true,
         }
     }
 }
@@ -577,6 +630,7 @@ impl Flow for HierarchicalFlow {
             frontend,
             start,
             check_clean,
+            self.post_opt,
         )
     }
 }
@@ -611,6 +665,11 @@ impl fmt::Display for FlowGraph {
         writeln!(
             f,
             "level             + TBS      (p = 0,1)   (Bennett/per-output)"
+        )?;
+        writeln!(f, "                    |           |           |")?;
+        writeln!(
+            f,
+            "                   peephole opt (cancel/merge/NOT-prop)  [qda-rev::opt]"
         )?;
         writeln!(f, "                    |           |           |")?;
         writeln!(f, "quantum level     reversible circuits: qubits × T-count")?;
@@ -733,5 +792,46 @@ mod tests {
         assert!(s.contains("INTDIV"));
         assert!(s.contains("xmglut"));
         assert!(s.contains("TBS"));
+        assert!(s.contains("peephole opt"));
+    }
+
+    #[test]
+    fn post_opt_runs_by_default_and_reports_stats() {
+        let outcome = HierarchicalFlow::default().run(&Design::intdiv(5)).unwrap();
+        let stats = outcome.opt_stats.expect("post_opt defaults to on");
+        assert!(stats.total_rewrites() > 0, "Bennett output has redundancy");
+        assert_eq!(outcome.verification, VerifyOutcome::Verified);
+    }
+
+    #[test]
+    fn post_opt_off_keeps_the_raw_synthesis_output() {
+        let design = Design::intdiv(5);
+        let raw = HierarchicalFlow {
+            post_opt: false,
+            ..Default::default()
+        }
+        .run(&design)
+        .unwrap();
+        assert_eq!(raw.opt_stats, None);
+        assert_eq!(raw.stages.post_opt, Duration::ZERO);
+        let opt = HierarchicalFlow::default().run(&design).unwrap();
+        assert!(opt.cost.gates < raw.cost.gates, "optimizer must bite");
+        assert!(opt.cost.t_count <= raw.cost.t_count);
+        assert_eq!(opt.cost.qubits, raw.cost.qubits, "lines untouched");
+    }
+
+    #[test]
+    fn post_opt_applies_to_every_flow_kind() {
+        let design = Design::intdiv(4);
+        let flows: Vec<Box<dyn Flow>> = vec![
+            Box::new(FunctionalFlow::default()),
+            Box::new(EsopFlow::with_factoring(0)),
+            Box::new(HierarchicalFlow::default()),
+        ];
+        for flow in flows {
+            let outcome = flow.run(&design).unwrap();
+            assert!(outcome.opt_stats.is_some(), "{}", outcome.flow_name);
+            assert!(outcome.verification.is_ok(), "{}", outcome.flow_name);
+        }
     }
 }

@@ -59,7 +59,7 @@ impl Table {
 
     /// Renders the per-stage timing breakdown of a [`FlowOutcome`]:
     /// flow name, then seconds for parse+elaborate, optimize, synthesis,
-    /// verification, and the total.
+    /// post-synthesis circuit optimization, verification, and the total.
     pub fn stage_row(outcome: &FlowOutcome) -> Vec<String> {
         let s = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
         vec![
@@ -67,6 +67,7 @@ impl Table {
             s(outcome.stages.parse_elaborate),
             s(outcome.stages.optimize),
             s(outcome.stages.synthesis),
+            s(outcome.stages.post_opt),
             s(outcome.stages.verification),
             s(outcome.stages.total()),
         ]

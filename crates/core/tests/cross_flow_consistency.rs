@@ -8,8 +8,11 @@ use qda_classical::exorcism::{minimize_esop, ExorcismOptions};
 use qda_classical::rewrite::{optimize_aig, OptimizeOptions};
 use qda_classical::xmg_map::map_to_xmg;
 use qda_core::design::Design;
+use qda_core::flow::{EsopFlow, Flow, FlowOutcome, FunctionalFlow, HierarchicalFlow};
 use qda_logic::sim::{check_aig_equivalence, EquivalenceOutcome};
+use qda_rev::state::BitState;
 use qda_revsynth::embed::{minimum_additional_lines, optimum_embedding};
+use qda_revsynth::hierarchical::CleanupStrategy;
 
 fn designs() -> Vec<Design> {
     vec![
@@ -80,6 +83,127 @@ fn xmg_mapping_agrees_with_aig() {
         }
         // XMGs of arithmetic should contain XOR gates — that's their point.
         assert!(xmg.num_xors() > 0, "{d}: no XOR extracted");
+    }
+}
+
+/// Every flow configuration, once with the post-synthesis optimizer on
+/// (the default) and once off.
+fn flow_pairs() -> Vec<(Box<dyn Flow>, Box<dyn Flow>)> {
+    vec![
+        (
+            Box::new(FunctionalFlow::default()),
+            Box::new(FunctionalFlow {
+                post_opt: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            Box::new(EsopFlow::with_factoring(0)),
+            Box::new(EsopFlow {
+                post_opt: false,
+                ..EsopFlow::with_factoring(0)
+            }),
+        ),
+        (
+            Box::new(EsopFlow::with_factoring(1)),
+            Box::new(EsopFlow {
+                post_opt: false,
+                ..EsopFlow::with_factoring(1)
+            }),
+        ),
+        (
+            Box::new(HierarchicalFlow::default()),
+            Box::new(HierarchicalFlow {
+                post_opt: false,
+                ..Default::default()
+            }),
+        ),
+        (
+            Box::new(HierarchicalFlow::with_strategy(CleanupStrategy::PerOutput)),
+            Box::new(HierarchicalFlow {
+                post_opt: false,
+                ..HierarchicalFlow::with_strategy(CleanupStrategy::PerOutput)
+            }),
+        ),
+        (
+            Box::new(HierarchicalFlow::with_strategy(
+                CleanupStrategy::KeepGarbage,
+            )),
+            Box::new(HierarchicalFlow {
+                post_opt: false,
+                ..HierarchicalFlow::with_strategy(CleanupStrategy::KeepGarbage)
+            }),
+        ),
+    ]
+}
+
+/// Replays a flow outcome on every input and checks its output register
+/// against the design's truth table.
+fn check_outcome_against_table(outcome: &FlowOutcome, table: &[u64]) {
+    for (x, &y) in table.iter().enumerate() {
+        let mut s = BitState::zeros(outcome.circuit.num_lines());
+        s.write_register(&outcome.input_lines, x as u64);
+        outcome.circuit.apply(&mut s);
+        assert_eq!(
+            s.read_register(&outcome.output_lines),
+            y,
+            "{} x={x}",
+            outcome.flow_name
+        );
+    }
+}
+
+#[test]
+fn every_flow_verifies_with_post_opt_on_and_off_against_the_same_truth_table() {
+    for d in [Design::intdiv(5), Design::newton(4)] {
+        let aig = d.to_aig().unwrap();
+        let table: Vec<u64> = (0..(1u64 << aig.num_pis())).map(|x| aig.eval(x)).collect();
+        for (with_opt, without_opt) in flow_pairs() {
+            let on = with_opt.run(&d).unwrap();
+            let off = without_opt.run(&d).unwrap();
+            assert!(on.opt_stats.is_some() && off.opt_stats.is_none());
+            // Both circuits realize the same truth table…
+            check_outcome_against_table(&on, &table);
+            check_outcome_against_table(&off, &table);
+            // …and the optimized one never costs more.
+            let name = &on.flow_name;
+            assert!(
+                on.cost.t_count <= off.cost.t_count,
+                "{d} {name}: T {} -> {}",
+                off.cost.t_count,
+                on.cost.t_count
+            );
+            assert!(
+                on.cost.gates <= off.cost.gates,
+                "{d} {name}: gates {} -> {}",
+                off.cost.gates,
+                on.cost.gates
+            );
+            assert_eq!(on.cost.qubits, off.cost.qubits, "{d} {name}");
+        }
+    }
+}
+
+#[test]
+fn post_opt_strictly_reduces_bennett_hierarchical_gates() {
+    // The acceptance bar of the optimizer PR: on the Bennett hierarchical
+    // flow — compute–copy–uncompute leaves mirror pairs and X sandwiches —
+    // the peephole pass must strictly reduce the gate count.
+    for d in [Design::intdiv(5), Design::intdiv(6), Design::newton(5)] {
+        let on = HierarchicalFlow::default().run(&d).unwrap();
+        let off = HierarchicalFlow {
+            post_opt: false,
+            ..Default::default()
+        }
+        .run(&d)
+        .unwrap();
+        assert!(
+            on.cost.gates < off.cost.gates,
+            "{d}: {} -> {} gates",
+            off.cost.gates,
+            on.cost.gates
+        );
+        assert!(on.opt_stats.unwrap().total_rewrites() > 0);
     }
 }
 

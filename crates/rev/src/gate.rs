@@ -47,6 +47,14 @@ impl Control {
 /// negative control reads `0`. With zero controls it is a NOT, with one a
 /// CNOT, with two a Toffoli.
 ///
+/// Controls are kept sorted by line, so structural equality (`==`) is
+/// canonical — two gates constructed from the same control set in any
+/// order compare equal, which is what lets the peephole optimizer
+/// ([`crate::opt`]) detect cancelling pairs structurally (and what backs
+/// the binary-search [`Gate::control_on`] lookup its commutation
+/// analysis runs on). The derived `Ord` is the matching total order, for
+/// callers that need canonically sorted gate sequences.
+///
 /// # Example
 ///
 /// ```
@@ -57,7 +65,7 @@ impl Control {
 /// assert!(g.fires(0b001)); // line0=1, line2=0
 /// assert!(!g.fires(0b101));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct Gate {
     controls: Vec<Control>,
     target: u32,
@@ -189,6 +197,82 @@ impl Gate {
         Gate::mct(controls, self.target())
     }
 
+    /// The control this gate places on `line`, if any (controls are
+    /// sorted by line, so this is a binary search).
+    pub fn control_on(&self, line: usize) -> Option<Control> {
+        self.controls
+            .binary_search_by_key(&(line as u32), |c| c.line)
+            .ok()
+            .map(|i| self.controls[i])
+    }
+
+    /// Whether the gate reads or writes `line` (as control or target).
+    pub fn acts_on(&self, line: usize) -> bool {
+        self.target() == line || self.control_on(line).is_some()
+    }
+
+    /// Whether both gates place a control on a common line with opposite
+    /// polarity. Such gates can never fire on the same state, which is why
+    /// they always commute (see [`crate::opt::rules::commutes`]).
+    pub fn controls_conflict(&self, other: &Gate) -> bool {
+        // Merge-join over the two sorted control lists.
+        let (mut i, mut j) = (0, 0);
+        while i < self.controls.len() && j < other.controls.len() {
+            let (a, b) = (self.controls[i], other.controls[j]);
+            match a.line.cmp(&b.line) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    if a.positive != b.positive {
+                        return true;
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Returns a copy with the polarity of the control on `line` flipped
+    /// (the effect of conjugating the gate with a NOT on `line`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate has no control on `line`.
+    #[must_use]
+    pub fn with_flipped_control(&self, line: usize) -> Gate {
+        let i = self
+            .controls
+            .binary_search_by_key(&(line as u32), |c| c.line)
+            .unwrap_or_else(|_| panic!("gate {self} has no control on line {line}"));
+        let mut controls = self.controls.clone();
+        controls[i].positive = !controls[i].positive;
+        Gate {
+            controls,
+            target: self.target,
+        }
+    }
+
+    /// Returns a copy with the control on `line` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate has no control on `line`.
+    #[must_use]
+    pub fn without_control(&self, line: usize) -> Gate {
+        let i = self
+            .controls
+            .binary_search_by_key(&(line as u32), |c| c.line)
+            .unwrap_or_else(|_| panic!("gate {self} has no control on line {line}"));
+        let mut controls = self.controls.clone();
+        controls.remove(i);
+        Gate {
+            controls,
+            target: self.target,
+        }
+    }
+
     /// Largest line index referenced by the gate.
     pub fn max_line(&self) -> usize {
         self.controls
@@ -275,5 +359,80 @@ mod tests {
     fn display_format() {
         let g = Gate::mct(vec![Control::positive(0), Control::negative(2)], 1);
         assert_eq!(g.to_string(), "T(0,!2;1)");
+    }
+
+    #[test]
+    fn equality_is_canonical_in_control_order() {
+        let a = Gate::mct(vec![Control::negative(3), Control::positive(1)], 0);
+        let b = Gate::mct(vec![Control::positive(1), Control::negative(3)], 0);
+        assert_eq!(a, b);
+        // Same lines, different polarity: not equal.
+        let c = Gate::mct(vec![Control::positive(1), Control::positive(3)], 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ordering_is_total_and_respects_control_lists() {
+        // The derived Ord is lexicographic over the sorted control list,
+        // then the target — so a NOT (no controls) sorts first.
+        let not = Gate::not(5);
+        let cnot = Gate::cnot(0, 5);
+        let tof = Gate::toffoli(0, 1, 5);
+        assert!(not < cnot && cnot < tof);
+        // Antisymmetry + reflexivity on a small sample.
+        assert_eq!(not.cmp(&not), std::cmp::Ordering::Equal);
+        assert_eq!(cnot.cmp(&not), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn control_lookup_hits_and_misses() {
+        let g = Gate::mct(vec![Control::positive(0), Control::negative(4)], 2);
+        assert_eq!(g.control_on(0), Some(Control::positive(0)));
+        assert_eq!(g.control_on(4), Some(Control::negative(4)));
+        assert_eq!(g.control_on(2), None, "target is not a control");
+        assert_eq!(g.control_on(3), None);
+        assert!(g.acts_on(0) && g.acts_on(2) && g.acts_on(4));
+        assert!(!g.acts_on(1));
+        // Degenerate 0-control NOT acts only on its target.
+        let not = Gate::not(1);
+        assert_eq!(not.control_on(1), None);
+        assert!(not.acts_on(1) && !not.acts_on(0));
+    }
+
+    #[test]
+    fn conflict_detection_over_overlapping_control_sets() {
+        let a = Gate::mct(vec![Control::positive(0), Control::negative(1)], 5);
+        let b = Gate::mct(vec![Control::positive(1), Control::positive(2)], 6);
+        assert!(a.controls_conflict(&b), "line 1 with opposite polarity");
+        assert!(b.controls_conflict(&a), "conflict is symmetric");
+        let c = Gate::mct(vec![Control::negative(1), Control::positive(3)], 6);
+        assert!(!a.controls_conflict(&c), "line 1 agrees on polarity");
+        // Negative-control-only gates conflict exactly on polarity.
+        let neg = Gate::mct(vec![Control::negative(0), Control::negative(2)], 5);
+        let neg2 = Gate::mct(vec![Control::negative(0)], 6);
+        assert!(!neg.controls_conflict(&neg2));
+        assert!(neg.controls_conflict(&Gate::mct(vec![Control::positive(2)], 6)));
+        // A NOT has no controls: never conflicts, not even with itself.
+        assert!(!Gate::not(0).controls_conflict(&Gate::not(0)));
+        assert!(!Gate::not(0).controls_conflict(&a));
+    }
+
+    #[test]
+    fn flip_and_remove_controls() {
+        let g = Gate::mct(vec![Control::positive(0), Control::negative(2)], 1);
+        let flipped = g.with_flipped_control(2);
+        assert_eq!(flipped.control_on(2), Some(Control::positive(2)));
+        assert_eq!(flipped.control_on(0), Some(Control::positive(0)));
+        assert_eq!(flipped.with_flipped_control(2), g, "flip is an involution");
+        let dropped = g.without_control(2);
+        assert_eq!(dropped.num_controls(), 1);
+        assert_eq!(dropped.control_on(2), None);
+        assert_eq!(dropped.target(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no control on line")]
+    fn flipping_a_missing_control_is_loud() {
+        let _ = Gate::cnot(0, 1).with_flipped_control(1);
     }
 }

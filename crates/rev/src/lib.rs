@@ -9,6 +9,9 @@
 //! * [`state`] / [`batchsim`] / [`equiv`] — bit-exact scalar and 64-way
 //!   bit-parallel simulation, and equivalence checking on top of them
 //!   (the role ABC `cec` plays in the paper),
+//! * [`opt`] — post-synthesis peephole optimization (commutation-aware
+//!   cancellation, control merging, NOT-propagation), every run
+//!   machine-checkable against the original via [`batchsim`],
 //! * [`blocks`] — hand-crafted reversible arithmetic (Cuccaro ripple-carry
 //!   adder, controlled adders, comparators, shift-and-add multipliers) used
 //!   by the manual RESDIV/QNEWTON baselines.
@@ -32,10 +35,12 @@ pub mod decompose;
 pub mod equiv;
 pub mod gate;
 pub mod io;
+pub mod opt;
 pub mod state;
 
 pub use batchsim::BatchState;
 pub use circuit::{Circuit, LineAllocator};
 pub use cost::CircuitCost;
 pub use gate::{Control, Gate};
+pub use opt::{optimize, optimize_checked, OptOptions, OptStats};
 pub use state::BitState;

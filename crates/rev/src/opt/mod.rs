@@ -1,0 +1,592 @@
+//! Post-synthesis peephole optimization of MPMCT circuits.
+//!
+//! The paper frames the reversible back-end as a place for post-synthesis
+//! optimization before costing, and all three synthesis flows emit
+//! circuits with obvious local redundancy: Bennett cleanup mirrors gates
+//! around the output copies, in-place XOR application leaves CNOT chains,
+//! and ESOP cubes produce same-target gates whose control polarities can
+//! fuse. This module removes that redundancy with a **worklist-driven,
+//! windowed peephole pass**:
+//!
+//! * [`rules::commutes`] — commutation analysis over gate pairs (equal
+//!   targets, disjoint target/support, or conflicting controls);
+//! * **cancellation** — two equal gates that can be brought adjacent by
+//!   commutation annihilate (MPMCT gates are self-inverse);
+//! * [`rules::merge`] — control-merge templates: two gates equal except
+//!   one control's polarity fuse without that control, and a gate whose
+//!   control set extends another's by one control is absorbed into it
+//!   with the extra control flipped;
+//! * **NOT-propagation** — an X gate is pushed rightward, flipping the
+//!   polarity of downstream controls on its line, until it annihilates
+//!   with a partner X;
+//! * [`rules::RewriteCost`] — the cost-aware acceptance policy: a rewrite
+//!   fires only if it never increases the T-count, with gate count as the
+//!   tie-break.
+//!
+//! Scans are bounded by [`OptOptions::window`] live gates, and every
+//! rewrite requeues only its neighbourhood, keeping the whole pass
+//! near-linear in circuit size. Every rule preserves the function on the
+//! **full line space** — ancillae and garbage lines included — and
+//! [`optimize_checked`] machine-checks exactly that with the bit-parallel
+//! [`crate::batchsim`] engine: exhaustively up to
+//! [`EXHAUSTIVE_LINE_LIMIT`] lines, with [`SAMPLED_STATES`] random states
+//! above.
+//!
+//! # Example
+//!
+//! ```
+//! use qda_rev::circuit::Circuit;
+//! use qda_rev::gate::{Control, Gate};
+//! use qda_rev::opt::{optimize, OptOptions};
+//!
+//! // Two Toffolis differing in one control polarity fuse into a CNOT
+//! // (the differing control becomes a don't-care), and the NOT pair on
+//! // line 0 annihilates by flipping the controls in between.
+//! let mut c = Circuit::new(3);
+//! c.not(0);
+//! c.mct(vec![Control::positive(0), Control::positive(1)], 2);
+//! c.mct(vec![Control::positive(0), Control::negative(1)], 2);
+//! c.not(0);
+//! let out = optimize(&c, &OptOptions::default());
+//! assert_eq!(out.stats.polarity_merges, 1);
+//! assert_eq!(out.stats.not_absorptions, 1);
+//! assert_eq!(out.circuit.gates(), &[Gate::mct(vec![Control::negative(0)], 2)]);
+//! assert_eq!(out.circuit.cost().t_count, 0); // both Toffolis gone
+//! ```
+
+pub mod rules;
+pub mod window;
+
+use crate::batchsim::{consecutive_batches, BatchState, BATCH_STATES};
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rules::{MergeRule, RewriteCost};
+use std::collections::VecDeque;
+use std::fmt;
+use window::{GateList, NIL};
+
+/// Circuits with at most this many lines are equivalence-checked
+/// exhaustively over all `2^n` basis states; wider circuits are sampled.
+pub const EXHAUSTIVE_LINE_LIMIT: usize = 16;
+
+/// Number of random full-width states used to check circuits wider than
+/// [`EXHAUSTIVE_LINE_LIMIT`].
+pub const SAMPLED_STATES: u64 = 4096;
+
+/// Tuning knobs of the peephole pass.
+#[derive(Clone, Copy, Debug)]
+pub struct OptOptions {
+    /// Maximum number of live gates a forward scan may cross when looking
+    /// for a cancellation/merge partner or a NOT-propagation sink. Keeps
+    /// the pass near-linear; larger windows see through longer commuting
+    /// stretches (e.g. the output-copy block of a Bennett circuit).
+    pub window: usize,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        Self { window: 32 }
+    }
+}
+
+/// Per-rule rewrite counters of one optimizer run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct OptStats {
+    /// Equal gate pairs annihilated.
+    pub cancellations: u64,
+    /// Control-merge fusions via [`MergeRule::Polarity`].
+    pub polarity_merges: u64,
+    /// Control-merge fusions via [`MergeRule::Subset`].
+    pub subset_merges: u64,
+    /// X-gate pairs annihilated by NOT-propagation (with the polarity
+    /// flips committed to the gates in between).
+    pub not_absorptions: u64,
+    /// Structurally applicable rewrites the acceptance policy refused.
+    /// The shipped rule catalogue never regresses the policy's cost
+    /// order, so this stays zero; it exists so a future rule that *can*
+    /// regress is observable rather than silently dropped.
+    pub rejected: u64,
+}
+
+impl OptStats {
+    /// Total number of accepted rewrites.
+    pub fn total_rewrites(&self) -> u64 {
+        self.cancellations + self.polarity_merges + self.subset_merges + self.not_absorptions
+    }
+}
+
+/// Result of an optimizer run.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The rewritten circuit (same line count, never more gates or T).
+    pub circuit: Circuit,
+    /// Per-rule rewrite counts.
+    pub stats: OptStats,
+}
+
+/// One applicable rewrite found by a forward scan from gate `i`.
+enum Rewrite {
+    /// Gates `i` and `j` are equal and `i` commutes up to `j`: both die.
+    Cancel { j: usize },
+    /// Gates `i` and `j` fuse into `gate` at `j`'s position; `i` dies.
+    Merge {
+        j: usize,
+        gate: Gate,
+        rule: MergeRule,
+    },
+    /// NOT gates `i` and `j` annihilate after flipping the control
+    /// polarity on the NOT's line in every gate of `flips`.
+    NotAbsorb { j: usize, flips: Vec<usize> },
+}
+
+/// Scans forward from `i` (bounded by `window` live gates) for the first
+/// rewrite that the acceptance policy admits. A structural match the
+/// policy refuses is counted in `rejected` and the scan continues — a
+/// refused partner must not mask an acceptable one later in the window.
+/// (Both match shapes share the scanned gate's target, so the commuting
+/// walk always carries past a refusal.)
+fn find_rewrite(list: &GateList, i: usize, window: usize, rejected: &mut u64) -> Option<Rewrite> {
+    let g = list.gate(i);
+    // Cancellation / control-merge: walk right while `g` commutes with
+    // everything in between, so the partner can be made adjacent.
+    let mut j = list.next_live(i);
+    let mut steps = 0;
+    while j != NIL && steps < window {
+        let h = list.gate(j);
+        if g == h {
+            if RewriteCost::of(&[g, h], &[]).accepted() {
+                return Some(Rewrite::Cancel { j });
+            }
+            *rejected += 1;
+        } else if let Some((gate, rule)) = rules::merge(g, h) {
+            if RewriteCost::of(&[g, h], &[&gate]).accepted() {
+                return Some(Rewrite::Merge { j, gate, rule });
+            }
+            *rejected += 1;
+        }
+        if !rules::commutes(g, h) {
+            break;
+        }
+        j = list.next_live(j);
+        steps += 1;
+    }
+    // NOT-propagation: an X on line `l` passes *any* gate — unchanged
+    // when the gate does not read `l`, with a polarity flip when the gate
+    // controls on `l` — so this scan only ends at the window bound or at
+    // a partner X.
+    if g.num_controls() == 0 {
+        let l = g.target();
+        let mut flips = Vec::new();
+        let mut j = list.next_live(i);
+        let mut steps = 0;
+        while j != NIL && steps < window {
+            let h = list.gate(j);
+            if h.num_controls() == 0 {
+                if h.target() == l {
+                    if RewriteCost::of(&[g, h], &[]).accepted() {
+                        return Some(Rewrite::NotAbsorb { j, flips });
+                    }
+                    *rejected += 1;
+                }
+            } else if h.control_on(l).is_some() {
+                flips.push(j);
+            }
+            j = list.next_live(j);
+            steps += 1;
+        }
+    }
+    None
+}
+
+/// Runs the peephole pass to a fixpoint and returns the rewritten
+/// circuit plus per-rule statistics.
+///
+/// The output realizes the same permutation over **all** lines (checked
+/// variant: [`optimize_checked`]), keeps the line count, and never has a
+/// higher T-count or gate count than the input. Running `optimize` on
+/// its own output changes nothing (idempotence) — the worklist requeues
+/// the window around every rewrite, so the pass really reaches a
+/// fixpoint of its rule set.
+pub fn optimize(circuit: &Circuit, options: &OptOptions) -> Optimized {
+    let window = options.window.max(1);
+    let mut list = GateList::new(circuit.gates());
+    let mut stats = OptStats::default();
+    let n = circuit.num_gates();
+    let mut queue: VecDeque<usize> = (0..n).collect();
+    let mut queued = vec![true; n];
+    while let Some(i) = queue.pop_front() {
+        queued[i] = false;
+        if !list.is_live(i) {
+            continue;
+        }
+        let Some(rewrite) = find_rewrite(&list, i, window, &mut stats.rejected) else {
+            continue;
+        };
+        // A rewrite shortens live distances for every gate whose forward
+        // window reaches a changed position, so requeue the windows
+        // before both sites (collected before the sites disappear).
+        let mut requeue = list.window_before(i, window);
+        let j = match &rewrite {
+            Rewrite::Cancel { j } | Rewrite::Merge { j, .. } | Rewrite::NotAbsorb { j, .. } => *j,
+        };
+        requeue.extend(list.window_before(j, window));
+        match rewrite {
+            Rewrite::Cancel { j } => {
+                list.remove(i);
+                list.remove(j);
+                stats.cancellations += 1;
+            }
+            Rewrite::Merge { j, gate, rule } => {
+                list.remove(i);
+                list.replace(j, gate);
+                requeue.push(j);
+                match rule {
+                    MergeRule::Polarity => stats.polarity_merges += 1,
+                    MergeRule::Subset => stats.subset_merges += 1,
+                }
+            }
+            Rewrite::NotAbsorb { j, flips } => {
+                let line = list.gate(i).target();
+                list.remove(i);
+                list.remove(j);
+                for &f in &flips {
+                    let flipped = list.gate(f).with_flipped_control(line);
+                    list.replace(f, flipped);
+                }
+                requeue.extend(flips);
+                stats.not_absorptions += 1;
+            }
+        }
+        for id in requeue {
+            if list.is_live(id) && !queued[id] {
+                queued[id] = true;
+                queue.push_back(id);
+            }
+        }
+    }
+    let mut out = Circuit::new(circuit.num_lines());
+    for g in list.to_gates() {
+        out.add_gate(g);
+    }
+    let (before, after) = (circuit.cost(), out.cost());
+    assert!(
+        after.t_count <= before.t_count && after.gates <= before.gates,
+        "acceptance policy violated: {before} -> {after}"
+    );
+    Optimized {
+        circuit: out,
+        stats,
+    }
+}
+
+/// Witness that an optimized circuit diverged from its original: one
+/// start state (as one word per 64-line chunk, low lines first) with the
+/// full end states of both circuits.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OptMismatch {
+    /// The failing start state.
+    pub input: Vec<u64>,
+    /// Where the original circuit takes it.
+    pub original: Vec<u64>,
+    /// Where the rewritten circuit takes it.
+    pub optimized: Vec<u64>,
+}
+
+impl fmt::Display for OptMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "optimizer changed the circuit function: state {:#x?} maps to {:#x?} in the \
+             original but {:#x?} after rewriting",
+            self.input, self.original, self.optimized
+        )
+    }
+}
+
+/// Checks that two same-width circuits realize the same permutation over
+/// **all** their lines, returning a witness state on divergence.
+///
+/// Runs on the bit-parallel [`crate::batchsim`] engine: exhaustive over
+/// the full `2^n` state space up to [`EXHAUSTIVE_LINE_LIMIT`] lines,
+/// [`SAMPLED_STATES`] seeded-random full-width states above (lines are
+/// loaded in 64-line chunks, so arbitrarily wide circuits are covered).
+///
+/// # Panics
+///
+/// Panics if the circuits differ in line count.
+pub fn equivalence_witness(original: &Circuit, optimized: &Circuit) -> Option<OptMismatch> {
+    assert_eq!(
+        original.num_lines(),
+        optimized.num_lines(),
+        "equivalence check requires equal line counts"
+    );
+    let n = original.num_lines();
+    if n <= EXHAUSTIVE_LINE_LIMIT {
+        for inputs in consecutive_batches(1u64 << n) {
+            let a = original.simulate_batch(&inputs);
+            let b = optimized.simulate_batch(&inputs);
+            for (k, &x) in inputs.iter().enumerate() {
+                if a[k] != b[k] {
+                    return Some(OptMismatch {
+                        input: vec![x],
+                        original: vec![a[k]],
+                        optimized: vec![b[k]],
+                    });
+                }
+            }
+        }
+        return None;
+    }
+    let all_lines: Vec<usize> = (0..n).collect();
+    let chunks: Vec<&[usize]> = all_lines.chunks(64).collect();
+    let mut rng = StdRng::seed_from_u64(0x0917_C3EC);
+    let mut remaining = SAMPLED_STATES;
+    while remaining > 0 {
+        let take = remaining.min(BATCH_STATES as u64) as usize;
+        let chunk_values: Vec<Vec<u64>> = chunks
+            .iter()
+            .map(|lines| {
+                let mask = if lines.len() == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << lines.len()) - 1
+                };
+                (0..take).map(|_| rng.gen::<u64>() & mask).collect()
+            })
+            .collect();
+        let mut sa = BatchState::zeros(n, take);
+        let mut sb = BatchState::zeros(n, take);
+        for (lines, values) in chunks.iter().zip(&chunk_values) {
+            sa.load_register(lines, values);
+            sb.load_register(lines, values);
+        }
+        original.apply_batch(&mut sa);
+        optimized.apply_batch(&mut sb);
+        let outs_a: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
+        let outs_b: Vec<Vec<u64>> = chunks.iter().map(|lines| sb.read_register(lines)).collect();
+        for k in 0..take {
+            if outs_a.iter().zip(&outs_b).any(|(a, b)| a[k] != b[k]) {
+                return Some(OptMismatch {
+                    input: chunk_values.iter().map(|v| v[k]).collect(),
+                    original: outs_a.iter().map(|v| v[k]).collect(),
+                    optimized: outs_b.iter().map(|v| v[k]).collect(),
+                });
+            }
+        }
+        remaining -= take as u64;
+    }
+    None
+}
+
+/// [`optimize`], then machine-check the rewritten circuit against the
+/// original with [`equivalence_witness`] — so an optimizer bug surfaces
+/// as a hard error carrying a witness state, never as a silently wrong
+/// cost figure.
+///
+/// # Errors
+///
+/// Returns the witness when the rewritten circuit diverges.
+pub fn optimize_checked(circuit: &Circuit, options: &OptOptions) -> Result<Optimized, OptMismatch> {
+    let out = optimize(circuit, options);
+    match equivalence_witness(circuit, &out.circuit) {
+        None => Ok(out),
+        Some(witness) => Err(witness),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Control;
+
+    fn opts() -> OptOptions {
+        OptOptions::default()
+    }
+
+    #[test]
+    fn adjacent_equal_gates_cancel() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        c.toffoli(0, 1, 2);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.circuit.num_gates(), 0);
+        assert_eq!(out.stats.cancellations, 1);
+        assert_eq!(out.circuit.num_lines(), 3, "line count preserved");
+    }
+
+    #[test]
+    fn cancellation_commutes_through_disjoint_gates() {
+        // The Toffoli pair is separated by gates on disjoint lines and by
+        // a same-target CNOT chain; all commute, so the pair still dies.
+        let mut c = Circuit::new(6);
+        c.toffoli(0, 1, 2);
+        c.cnot(3, 4);
+        c.not(5);
+        c.cnot(3, 2); // same target as the Toffoli: commutes
+        c.toffoli(0, 1, 2);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.stats.cancellations, 1);
+        assert_eq!(out.circuit.num_gates(), 3);
+    }
+
+    #[test]
+    fn blocked_pairs_are_left_alone() {
+        // The CNOT rewrites line 1 — a control of the Toffoli — so the
+        // pair must NOT cancel (and indeed is not equivalent to removal).
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        c.cnot(0, 1);
+        c.toffoli(0, 1, 2);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.circuit.num_gates(), 3);
+        assert_eq!(out.stats.total_rewrites(), 0);
+    }
+
+    #[test]
+    fn conflicting_controls_commute_past_a_target_overlap() {
+        // b targets a control line of a, but their controls conflict on
+        // line 3, so they can never both fire — a's partner is reachable.
+        let mut c = Circuit::new(4);
+        let a = Gate::mct(vec![Control::positive(1), Control::positive(3)], 0);
+        let b = Gate::mct(vec![Control::negative(3)], 1);
+        c.add_gate(a.clone());
+        c.add_gate(b.clone());
+        c.add_gate(a);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.stats.cancellations, 1);
+        assert_eq!(out.circuit.gates(), &[b]);
+    }
+
+    #[test]
+    fn bennett_style_mirror_cancels_through_output_copies() {
+        // compute | copy | uncompute — the innermost mirror pair sits
+        // around the copy block and cancels first, cascading outward.
+        let mut c = Circuit::new(6);
+        c.toffoli(0, 1, 3); // compute
+        c.toffoli(1, 2, 4);
+        c.cnot(4, 5); // copy (reads only line 4)
+        c.toffoli(1, 2, 4); // uncompute
+        c.toffoli(0, 1, 3);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        // The (1,2;4) pair is blocked by the copy reading line 4, but the
+        // outer (0,1;3) pair commutes through everything and cancels.
+        assert_eq!(out.stats.cancellations, 1);
+        assert_eq!(out.circuit.num_gates(), 3);
+    }
+
+    #[test]
+    fn window_bounds_the_partner_search() {
+        let mut c = Circuit::new(40);
+        c.toffoli(0, 1, 2);
+        for l in 3..39 {
+            c.not(l); // 36 commuting spacers
+        }
+        c.toffoli(0, 1, 2);
+        let narrow = optimize(&c, &OptOptions { window: 8 });
+        assert_eq!(narrow.stats.total_rewrites(), 0, "partner out of window");
+        let wide = optimize(&c, &OptOptions { window: 64 });
+        assert_eq!(wide.stats.cancellations, 1);
+    }
+
+    #[test]
+    fn not_propagation_flips_and_annihilates() {
+        let mut c = Circuit::new(3);
+        c.not(1);
+        c.toffoli(0, 1, 2);
+        c.cnot(1, 0);
+        c.not(1);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.stats.not_absorptions, 1);
+        assert_eq!(
+            out.circuit.gates(),
+            &[
+                Gate::mct(vec![Control::positive(0), Control::negative(1)], 2),
+                Gate::mct(vec![Control::negative(1)], 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn rewrites_cascade_to_a_fixpoint() {
+        // A NOT sandwich whose absorption enables a polarity merge whose
+        // result cancels with a trailing CNOT: three rules chained.
+        let mut c = Circuit::new(3);
+        c.not(1);
+        c.mct(vec![Control::positive(0), Control::negative(1)], 2);
+        c.not(1);
+        c.mct(vec![Control::positive(0), Control::negative(1)], 2);
+        c.cnot(0, 2);
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.circuit.num_gates(), 0, "{}", out.circuit);
+        assert!(out.stats.total_rewrites() >= 3);
+    }
+
+    #[test]
+    fn optimizer_is_deterministic() {
+        let mut c = Circuit::new(4);
+        for _ in 0..3 {
+            c.toffoli(0, 1, 3);
+            c.cnot(2, 3);
+            c.not(0);
+        }
+        let a = optimize(&c, &opts());
+        let b = optimize(&c, &opts());
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn nothing_is_ever_rejected_by_the_policy() {
+        let mut c = Circuit::new(5);
+        for i in 0..4 {
+            c.toffoli(i, (i + 1) % 5, (i + 2) % 5);
+            c.not(i);
+            c.not(i);
+        }
+        let out = optimize(&c, &opts());
+        assert_eq!(out.stats.rejected, 0);
+    }
+
+    #[test]
+    fn equivalence_witness_finds_divergence() {
+        let mut a = Circuit::new(3);
+        a.cnot(0, 2);
+        let mut b = Circuit::new(3);
+        b.cnot(1, 2);
+        let w = equivalence_witness(&a, &b).expect("different circuits");
+        // Re-confirm the witness by scalar simulation.
+        assert_eq!(a.simulate_u64(w.input[0]), w.original[0]);
+        assert_eq!(b.simulate_u64(w.input[0]), w.optimized[0]);
+        assert_ne!(w.original, w.optimized);
+        assert!(w.to_string().contains("optimizer changed"));
+        assert_eq!(equivalence_witness(&a, &a), None);
+    }
+
+    #[test]
+    fn equivalence_witness_samples_wide_circuits() {
+        // 70 lines: beyond both the exhaustive limit and one 64-bit
+        // chunk. A single-gate difference must still be caught.
+        let mut a = Circuit::new(70);
+        a.cnot(0, 69);
+        a.toffoli(1, 68, 2);
+        let mut b = a.clone();
+        let w = equivalence_witness(&a, &b);
+        assert_eq!(w, None, "identical circuits agree on every sample");
+        b.not(67);
+        let w = equivalence_witness(&a, &b).expect("NOT on line 67 must be seen");
+        assert_eq!(w.input.len(), 2, "two 64-line chunks");
+        assert_eq!(w.original[1] ^ w.optimized[1], 1 << (67 - 64));
+    }
+
+    #[test]
+    fn empty_and_single_gate_circuits_pass_through() {
+        let empty = Circuit::new(4);
+        let out = optimize_checked(&empty, &opts()).unwrap();
+        assert_eq!(out.circuit.num_gates(), 0);
+        let mut single = Circuit::new(4);
+        single.toffoli(0, 1, 2);
+        let out = optimize_checked(&single, &opts()).unwrap();
+        assert_eq!(out.circuit.num_gates(), 1);
+    }
+}

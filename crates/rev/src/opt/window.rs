@@ -1,0 +1,219 @@
+//! The sliding-window gate store behind the worklist optimizer: a
+//! doubly-linked list over a flat arena, so removing or replacing a gate
+//! is O(1), forward scans skip dead slots in O(1) per step, and a
+//! bounded window of live predecessors can be collected cheaply when a
+//! rewrite needs to requeue its neighbourhood.
+//!
+//! Keeping stable ids (arena slots) instead of shifting a `Vec<Gate>`
+//! is what makes the optimizer near-linear: a rewrite touches only the
+//! gates it removes plus an O(window) requeue set, never the whole
+//! cascade.
+
+use crate::gate::Gate;
+
+/// Sentinel id for "no gate" (list ends).
+pub const NIL: usize = usize::MAX;
+
+/// A gate cascade with O(1) removal/replacement and stable ids.
+#[derive(Clone, Debug)]
+pub struct GateList {
+    gates: Vec<Option<Gate>>,
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    len: usize,
+}
+
+impl GateList {
+    /// Builds the list from a cascade; id `i` is gate `i` of the input.
+    pub fn new(gates: &[Gate]) -> Self {
+        let n = gates.len();
+        Self {
+            gates: gates.iter().cloned().map(Some).collect(),
+            prev: (0..n).map(|i| if i == 0 { NIL } else { i - 1 }).collect(),
+            next: (0..n)
+                .map(|i| if i + 1 == n { NIL } else { i + 1 })
+                .collect(),
+            head: if n == 0 { NIL } else { 0 },
+            len: n,
+        }
+    }
+
+    /// Number of live gates.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no gate is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Id of the first live gate ([`NIL`] when empty).
+    pub fn first(&self) -> usize {
+        self.head
+    }
+
+    /// Whether `id` is a live gate.
+    pub fn is_live(&self, id: usize) -> bool {
+        id < self.gates.len() && self.gates[id].is_some()
+    }
+
+    /// The gate at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead or out of range.
+    pub fn gate(&self, id: usize) -> &Gate {
+        self.gates[id].as_ref().expect("dead gate id")
+    }
+
+    /// Id of the live gate after `id` ([`NIL`] at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead.
+    pub fn next_live(&self, id: usize) -> usize {
+        assert!(self.is_live(id), "next_live of dead id {id}");
+        self.next[id]
+    }
+
+    /// Up to `k` live gate ids strictly before `id`, nearest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead.
+    pub fn window_before(&self, id: usize, k: usize) -> Vec<usize> {
+        assert!(self.is_live(id), "window_before of dead id {id}");
+        let mut out = Vec::with_capacity(k);
+        let mut p = self.prev[id];
+        while p != NIL && out.len() < k {
+            out.push(p);
+            p = self.prev[p];
+        }
+        out
+    }
+
+    /// Removes the gate at `id` in O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead.
+    pub fn remove(&mut self, id: usize) {
+        assert!(self.is_live(id), "remove of dead id {id}");
+        let (p, n) = (self.prev[id], self.next[id]);
+        if p == NIL {
+            self.head = n;
+        } else {
+            self.next[p] = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        }
+        self.gates[id] = None;
+        self.len -= 1;
+    }
+
+    /// Replaces the gate at `id`, keeping its position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead.
+    pub fn replace(&mut self, id: usize, gate: Gate) {
+        assert!(self.is_live(id), "replace of dead id {id}");
+        self.gates[id] = Some(gate);
+    }
+
+    /// The live gates in cascade order.
+    pub fn to_gates(&self) -> Vec<Gate> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut id = self.head;
+        while id != NIL {
+            out.push(self.gates[id].clone().expect("live list node"));
+            id = self.next[id];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Gate> {
+        vec![
+            Gate::not(0),
+            Gate::cnot(0, 1),
+            Gate::toffoli(0, 1, 2),
+            Gate::cnot(1, 0),
+            Gate::not(2),
+        ]
+    }
+
+    #[test]
+    fn round_trips_a_cascade() {
+        let gates = sample();
+        let list = GateList::new(&gates);
+        assert_eq!(list.len(), 5);
+        assert_eq!(list.to_gates(), gates);
+        assert_eq!(list.first(), 0);
+    }
+
+    #[test]
+    fn removal_links_over_dead_slots() {
+        let mut list = GateList::new(&sample());
+        list.remove(1);
+        list.remove(3);
+        assert_eq!(list.len(), 3);
+        assert!(!list.is_live(1) && list.is_live(2));
+        assert_eq!(list.next_live(0), 2);
+        assert_eq!(list.next_live(2), 4);
+        assert_eq!(list.next_live(4), NIL);
+        let left: Vec<Gate> = list.to_gates();
+        assert_eq!(
+            left,
+            vec![Gate::not(0), Gate::toffoli(0, 1, 2), Gate::not(2)]
+        );
+    }
+
+    #[test]
+    fn removing_the_head_moves_first() {
+        let mut list = GateList::new(&sample());
+        list.remove(0);
+        assert_eq!(list.first(), 1);
+        list.remove(1);
+        assert_eq!(list.first(), 2);
+        list.remove(2);
+        list.remove(3);
+        list.remove(4);
+        assert!(list.is_empty());
+        assert_eq!(list.first(), NIL);
+    }
+
+    #[test]
+    fn replace_keeps_position() {
+        let mut list = GateList::new(&sample());
+        list.replace(2, Gate::cnot(2, 0));
+        assert_eq!(list.to_gates()[2], Gate::cnot(2, 0));
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn window_before_is_bounded_and_skips_dead_ids() {
+        let mut list = GateList::new(&sample());
+        assert_eq!(list.window_before(4, 2), vec![3, 2]);
+        assert_eq!(list.window_before(4, 10), vec![3, 2, 1, 0]);
+        assert_eq!(list.window_before(0, 3), Vec::<usize>::new());
+        list.remove(3);
+        list.remove(1);
+        assert_eq!(list.window_before(4, 10), vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead id")]
+    fn double_remove_is_loud() {
+        let mut list = GateList::new(&sample());
+        list.remove(1);
+        list.remove(1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared proptest strategies for the `qda-rev` integration suites.
+
+use proptest::prelude::*;
+use qda_rev::circuit::Circuit;
+use qda_rev::gate::{Control, Gate};
+
+/// A random mixed-polarity MPMCT circuit: the line count is drawn from
+/// `lines`, followed by up to `max_gates` gates whose target, control
+/// set, and control polarities are derived from three random words.
+pub fn arb_mpmct_circuit(
+    lines: std::ops::Range<usize>,
+    max_gates: usize,
+) -> impl Strategy<Value = Circuit> {
+    (
+        lines,
+        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..max_gates),
+    )
+        .prop_map(|(lines, raw)| {
+            let mut c = Circuit::new(lines);
+            for (tsel, cmask, pmask) in raw {
+                let target = (tsel % lines as u64) as usize;
+                let controls: Vec<Control> = (0..lines)
+                    .filter(|&l| l != target && (cmask >> l) & 1 == 1)
+                    .map(|l| {
+                        if (pmask >> l) & 1 == 1 {
+                            Control::positive(l)
+                        } else {
+                            Control::negative(l)
+                        }
+                    })
+                    .collect();
+                c.add_gate(Gate::mct(controls, target));
+            }
+            c
+        })
+}

@@ -1,0 +1,116 @@
+//! Property tests for the Barenco V-chain expansion
+//! (`qda_rev::decompose`): across `max_controls ∈ {2, 3, 4}` and random
+//! mixed-polarity circuits, the expansion must preserve the function on
+//! the original lines, return every ancilla clean, and hit the
+//! `2(c − 2) + 1` Toffoli (and `7` T per Toffoli) budget exactly.
+
+mod common;
+
+use common::arb_mpmct_circuit;
+use proptest::prelude::*;
+use qda_rev::circuit::Circuit;
+use qda_rev::cost::t_count_mct;
+use qda_rev::decompose::{expand_with_limit, plain_toffoli_t_count};
+use qda_rev::gate::Gate;
+
+/// A random circuit on 4–7 lines (so MCT gates with up to 6 controls
+/// appear) with up to 12 mixed-polarity gates.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    arb_mpmct_circuit(4..8, 12)
+}
+
+/// Expected gate count of the expansion of one gate: pass-through below
+/// the limit, otherwise the V-chain plus the X conjugation of its
+/// negative controls.
+fn expected_gates(g: &Gate, max_controls: usize) -> usize {
+    let c = g.num_controls();
+    if c <= max_controls {
+        1
+    } else {
+        let negatives = g.controls().iter().filter(|k| !k.is_positive()).count();
+        2 * (c - 2) + 1 + 2 * negatives
+    }
+}
+
+/// Expected T-count of the expansion of one gate (7 per plain Toffoli).
+fn expected_t(g: &Gate, max_controls: usize) -> u64 {
+    let c = g.num_controls();
+    if c <= max_controls {
+        t_count_mct(c)
+    } else {
+        7 * (2 * (c as u64 - 2) + 1)
+    }
+}
+
+proptest! {
+    #[test]
+    fn expansion_preserves_semantics_on_original_lines(
+        c in arb_circuit(),
+        max_sel in 0usize..3,
+    ) {
+        let max_controls = 2 + max_sel;
+        let expanded = expand_with_limit(&c, max_controls);
+        let n = c.num_lines();
+        let mask = (1u64 << n) - 1;
+        for x in 0..(1u64 << n) {
+            let full = expanded.simulate_u64(x);
+            prop_assert_eq!(full & mask, c.simulate_u64(x),
+                "max_controls={} x={}", max_controls, x);
+            prop_assert_eq!(full & !mask, 0,
+                "dirty ancilla at max_controls={} x={}", max_controls, x);
+        }
+    }
+
+    #[test]
+    fn expansion_respects_the_control_limit(
+        c in arb_circuit(),
+        max_sel in 0usize..3,
+    ) {
+        let max_controls = 2 + max_sel;
+        let expanded = expand_with_limit(&c, max_controls);
+        for g in expanded.gates() {
+            prop_assert!(
+                g.num_controls() <= max_controls || g.num_controls() == 0,
+                "{} survived a limit of {}", g, max_controls
+            );
+        }
+    }
+
+    #[test]
+    fn toffoli_and_t_budgets_match_the_barenco_formula(
+        c in arb_circuit(),
+        max_sel in 0usize..3,
+    ) {
+        let max_controls = 2 + max_sel;
+        let expanded = expand_with_limit(&c, max_controls);
+        let gates: usize = c.gates().iter().map(|g| expected_gates(g, max_controls)).sum();
+        prop_assert_eq!(expanded.num_gates(), gates);
+        let t: u64 = c.gates().iter().map(|g| expected_t(g, max_controls)).sum();
+        prop_assert_eq!(expanded.cost().t_count, t);
+        // At max_controls = 2 every gate is plain, so the circuit-level
+        // pessimistic model must agree exactly.
+        if max_controls == 2 {
+            prop_assert_eq!(expanded.cost().t_count, plain_toffoli_t_count(&c));
+        }
+    }
+
+    #[test]
+    fn ancilla_allocation_matches_the_widest_expanded_gate(
+        c in arb_circuit(),
+        max_sel in 0usize..3,
+    ) {
+        let max_controls = 2 + max_sel;
+        let expanded = expand_with_limit(&c, max_controls);
+        let worst = c
+            .gates()
+            .iter()
+            .map(Gate::num_controls)
+            .filter(|&k| k > max_controls)
+            .max()
+            .unwrap_or(0);
+        prop_assert_eq!(
+            expanded.num_lines(),
+            c.num_lines() + worst.saturating_sub(2)
+        );
+    }
+}

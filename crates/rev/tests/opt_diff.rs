@@ -1,0 +1,88 @@
+//! Differential tests of the peephole optimizer: on random mixed-polarity
+//! MPMCT circuits (3–12 lines), the optimizer output must realize exactly
+//! the input function on the **full** line space, never cost more, be a
+//! fixpoint of its own rule set, and keep its per-rule statistics
+//! consistent with the gates it removed.
+
+mod common;
+
+use common::arb_mpmct_circuit;
+use proptest::prelude::*;
+use qda_rev::circuit::Circuit;
+use qda_rev::opt::{equivalence_witness, optimize, optimize_checked, OptOptions};
+
+/// A random circuit on 3–12 lines with up to 40 mixed-polarity gates.
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    arb_mpmct_circuit(3..13, 40)
+}
+
+/// Exhaustive scalar comparison over every basis state of the full line
+/// space — deliberately independent of the batch engine the optimizer's
+/// own check uses.
+fn same_permutation(a: &Circuit, b: &Circuit) -> Result<(), u64> {
+    assert_eq!(a.num_lines(), b.num_lines());
+    for x in 0..(1u64 << a.num_lines()) {
+        if a.simulate_u64(x) != b.simulate_u64(x) {
+            return Err(x);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn optimized_circuit_is_equivalent_to_its_input(c in arb_circuit()) {
+        let out = optimize(&c, &OptOptions::default());
+        if let Err(x) = same_permutation(&c, &out.circuit) {
+            prop_assert!(false, "diverges at state {x:#b}:\n{c}\n{}", out.circuit);
+        }
+        // …and the optimizer's own batch-simulation check agrees.
+        prop_assert_eq!(equivalence_witness(&c, &out.circuit), None);
+    }
+
+    #[test]
+    fn optimize_checked_accepts_every_random_circuit(c in arb_circuit()) {
+        let checked = optimize_checked(&c, &OptOptions::default());
+        prop_assert!(checked.is_ok());
+    }
+
+    #[test]
+    fn cost_never_increases(c in arb_circuit()) {
+        let before = c.cost();
+        let out = optimize(&c, &OptOptions::default());
+        let after = out.circuit.cost();
+        prop_assert!(after.t_count <= before.t_count,
+            "T-count regressed: {} -> {}", before.t_count, after.t_count);
+        prop_assert!(after.gates <= before.gates,
+            "gate count regressed: {} -> {}", before.gates, after.gates);
+        prop_assert_eq!(after.qubits, before.qubits);
+    }
+
+    #[test]
+    fn optimizer_is_idempotent(c in arb_circuit()) {
+        let once = optimize(&c, &OptOptions::default());
+        let twice = optimize(&once.circuit, &OptOptions::default());
+        prop_assert_eq!(&twice.circuit, &once.circuit,
+            "second pass still found rewrites: {:?}", twice.stats);
+        prop_assert_eq!(twice.stats.total_rewrites(), 0);
+    }
+
+    #[test]
+    fn stats_account_for_every_removed_gate(c in arb_circuit()) {
+        let out = optimize(&c, &OptOptions::default());
+        let removed = (c.num_gates() - out.circuit.num_gates()) as u64;
+        let s = out.stats;
+        prop_assert_eq!(
+            removed,
+            2 * s.cancellations + s.polarity_merges + s.subset_merges + 2 * s.not_absorptions
+        );
+        prop_assert_eq!(s.rejected, 0);
+    }
+
+    #[test]
+    fn every_window_size_is_sound(c in arb_circuit(), window in 1usize..48) {
+        let out = optimize(&c, &OptOptions { window });
+        prop_assert!(same_permutation(&c, &out.circuit).is_ok(), "window {window}");
+        prop_assert!(out.circuit.cost().t_count <= c.cost().t_count);
+    }
+}

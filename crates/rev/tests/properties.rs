@@ -1,38 +1,19 @@
 //! Property-based tests: reversible circuits are permutations, inverses
 //! compose to identity, and the arithmetic blocks implement arithmetic.
 
+mod common;
+
+use common::arb_mpmct_circuit;
 use proptest::prelude::*;
 use qda_rev::blocks::{cuccaro_add, cuccaro_sub, multiply_add};
 use qda_rev::circuit::Circuit;
-use qda_rev::gate::{Control, Gate};
+use qda_rev::gate::Control;
 use qda_rev::io::{from_real, to_real};
 use qda_rev::state::BitState;
 
-/// A random but valid gate on `lines` lines.
-fn arb_gate(lines: usize) -> impl Strategy<Value = Gate> {
-    (0..lines, any::<u64>(), any::<u64>()).prop_map(move |(target, cmask, pmask)| {
-        let controls: Vec<Control> = (0..lines)
-            .filter(|&l| l != target && (cmask >> l) & 1 == 1)
-            .map(|l| {
-                if (pmask >> l) & 1 == 1 {
-                    Control::positive(l)
-                } else {
-                    Control::negative(l)
-                }
-            })
-            .collect();
-        Gate::mct(controls, target)
-    })
-}
-
+/// A random mixed-polarity circuit on exactly `lines` lines.
 fn arb_circuit(lines: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    prop::collection::vec(arb_gate(lines), 0..max_gates).prop_map(move |gates| {
-        let mut c = Circuit::new(lines);
-        for g in gates {
-            c.add_gate(g);
-        }
-        c
-    })
+    arb_mpmct_circuit(lines..lines + 1, max_gates)
 }
 
 proptest! {
