@@ -1,0 +1,133 @@
+//! Property tests pinning the reciprocal generators — the reversible
+//! RESDIV/QNEWTON baselines and the INTDIV/NEWTON Verilog generators —
+//! against the scalar fixed-point reference models in `qda_arith::recip`
+//! and `qda_arith::fixed`, across widths and iteration counts.
+
+use proptest::prelude::*;
+use qda_arith::fixed::Fixed;
+use qda_arith::resdiv::{resdiv_circuit, resdiv_reciprocal};
+use qda_arith::{
+    intdiv_verilog, newton_iterations, newton_verilog, qnewton_circuit, recip_intdiv, recip_newton,
+};
+use qda_rev::state::BitState;
+
+/// Runs a RESDIV instance on `(a, b)` and reads back `(q, r)`.
+fn run_resdiv(d: &qda_arith::resdiv::ResdivCircuit, a: u64, b: u64) -> (u64, u64) {
+    let mut s = BitState::zeros(d.circuit.num_lines());
+    s.write_register(&d.dividend_lines, a);
+    s.write_register(&d.divisor_lines, b);
+    d.circuit.apply(&mut s);
+    (
+        s.read_register(&d.quotient_lines),
+        s.read_register(&d.remainder_lines),
+    )
+}
+
+/// Elaborates generated Verilog down to an AIG.
+fn elaborate(src: &str) -> qda_logic::Aig {
+    let module = qda_verilog::parse_module(src).expect("generator output must parse");
+    qda_verilog::elaborate(&module).expect("generator output must elaborate")
+}
+
+proptest! {
+    #[test]
+    fn resdiv_divides_like_the_integers(bits in 2usize..6, seed in any::<u64>()) {
+        let d = resdiv_circuit(bits);
+        let mask = (1u64 << bits) - 1;
+        let a = seed & mask;
+        let b = (seed >> 16) & mask;
+        let (q, r) = run_resdiv(&d, a, b);
+        match (a.checked_div(b), a.checked_rem(b)) {
+            (Some(quotient), Some(remainder)) => {
+                prop_assert_eq!(q, quotient);
+                prop_assert_eq!(r & mask, remainder);
+            }
+            _ => {
+                // Restoring division's natural saturation on b == 0.
+                prop_assert_eq!(q, mask);
+                prop_assert_eq!(r & mask, a);
+            }
+        }
+    }
+
+    #[test]
+    fn resdiv_reciprocal_matches_the_intdiv_model(n in 2usize..5, seed in any::<u64>()) {
+        let d = resdiv_reciprocal(n);
+        let mask = (1u64 << n) - 1;
+        let x = (seed & mask).max(1);
+        let mut s = BitState::zeros(d.circuit.num_lines());
+        s.write_register(&d.divisor_lines, x);
+        d.circuit.apply(&mut s);
+        let y = s.read_register(&d.quotient_lines) & mask;
+        prop_assert_eq!(y, recip_intdiv(n, x));
+    }
+
+    #[test]
+    fn qnewton_matches_the_newton_model(n in 4usize..7, seed in any::<u64>()) {
+        let q = qnewton_circuit(n);
+        let mask = (1u64 << n) - 1;
+        let x = (seed & mask).max(1);
+        let mut s = BitState::zeros(q.circuit.num_lines());
+        s.write_register(&q.input_lines, x);
+        q.circuit.apply(&mut s);
+        prop_assert_eq!(s.read_register(&q.output_lines), recip_newton(n, x));
+        prop_assert_eq!(s.read_register(&q.input_lines), x, "input preserved");
+    }
+
+    #[test]
+    fn intdiv_verilog_elaborates_to_the_model(n in 2usize..7, seed in any::<u64>()) {
+        let aig = elaborate(&intdiv_verilog(n));
+        let x = seed & ((1u64 << n) - 1);
+        prop_assert_eq!(aig.eval(x), recip_intdiv(n, x));
+    }
+
+    // `x = 0` is excluded below: the model defines `1/0 = 0` while the
+    // generated normalizer's leading-one detector finds no bit to align.
+
+    #[test]
+    fn newton_verilog_elaborates_to_the_model(n in 4usize..7, seed in any::<u64>()) {
+        let aig = elaborate(&newton_verilog(n));
+        let x = (seed & ((1u64 << n) - 1)).max(1);
+        prop_assert_eq!(aig.eval(x), recip_newton(n, x));
+    }
+
+    #[test]
+    fn mul_trunc_floors_the_real_product(w in 4u32..12, seed in any::<u64>()) {
+        // Restrict both factors below 1.0 so the Q3.w wrap never kicks in
+        // and truncation is the only approximation.
+        let mask = (1u128 << w) - 1;
+        let a = Fixed::from_raw(seed as u128 & mask, w);
+        let b = Fixed::from_raw((seed >> 32) as u128 & mask, w);
+        let p = a.mul_trunc(b, w);
+        let real = a.to_f64() * b.to_f64();
+        prop_assert!(p.to_f64() <= real);
+        prop_assert!(real - p.to_f64() < 1.0 / (1u64 << w) as f64);
+    }
+
+    #[test]
+    fn wrapping_add_and_sub_invert_each_other(w in 4u32..12, seed in any::<u64>()) {
+        let mask = (1u128 << (w + 3)) - 1;
+        let a = Fixed::from_raw(seed as u128 & mask, w);
+        let b = Fixed::from_raw((seed >> 32) as u128 & mask, w);
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+        prop_assert_eq!(a.wrapping_sub(b).wrapping_add(b), a);
+    }
+
+    #[test]
+    fn widening_round_trips_through_any_wider_format(
+        w in 4u32..12,
+        extra in 0u32..8,
+        seed in any::<u64>(),
+    ) {
+        let a = Fixed::from_raw(seed as u128 & ((1u128 << (w + 3)) - 1), w);
+        let wide = a.with_frac_bits(w + extra);
+        prop_assert_eq!(wide.to_f64(), a.to_f64());
+        prop_assert_eq!(wide.with_frac_bits(w), a);
+    }
+
+    #[test]
+    fn newton_iteration_count_is_monotone(n in 1usize..128) {
+        prop_assert!(newton_iterations(n) <= newton_iterations(n + 1));
+        prop_assert!(newton_iterations(n) >= 1);
+    }
+}

@@ -60,6 +60,7 @@ fn main() {
             "optimize",
             "synthesis",
             "post-opt",
+            "resynth",
             "verify",
             "total",
         ],

@@ -11,7 +11,8 @@
 //!     {"design": "INTDIV", "n": 4, "flow": "functional (embedding + TBS)",
 //!      "qubits": 7, "t_count": 597, "gates": 42, "runtime_s": 0.012,
 //!      "stages": {"parse_elaborate_s": 0.001, "optimize_s": 0.002,
-//!                 "synthesis_s": 0.008, "verification_s": 0.001}},
+//!                 "synthesis_s": 0.008, "post_opt_s": 0.001,
+//!                 "resynth_s": 0.0, "verification_s": 0.001}},
 //!     {"design": "INTDIV", "n": 16, "flow": "functional (embedding + TBS)",
 //!      "error": "instance too large: ..."}
 //!   ]
@@ -55,6 +56,24 @@
 //!  "rewrites": {"cancel": 30, "merge_polarity": 2, "merge_subset": 1,
 //!               "not_absorb": 4}}
 //! ```
+//!
+//! Windowed-resynthesis benches (`resynth_bench`) follow the same
+//! before/after convention: `gates`/`t_count` are the **post-resynthesis**
+//! figures, `gates_in` / `t_count_in` the input (already peephole-
+//! optimized) circuit, and `windows` accounts for every window the pass
+//! looked at:
+//!
+//! ```json
+//! {"design": "INTDIV-HIER", "n": 6, "flow": "resynth (TBS/ESOP/linear)",
+//!  "qubits": 56, "t_count": 322, "gates": 290, "runtime_s": 0.110,
+//!  "gates_in": 306, "t_count_in": 322,
+//!  "windows": {"attempted": 84, "accepted": 9, "rejected": 75,
+//!              "unsound": 0, "passes": 2}}
+//! ```
+//!
+//! Portfolio rows (also `resynth_bench`) reuse the plain cost shape with
+//! the racing configuration name in `flow` (e.g.
+//! `"hierarchical (Bennett) [+opt+resynth]"`).
 
 use crate::json::Json;
 use qda_core::flow::{FlowOutcome, StageTimings};
@@ -98,6 +117,10 @@ pub struct BenchData {
     /// optimizer benches (`opt_bench`); those rows carry the optimized
     /// cost in `gates`/`t_count`.
     pub opt: Option<OptRowData>,
+    /// Pre-resynthesis cost and window accounting, for windowed-
+    /// resynthesis benches (`resynth_bench`); those rows carry the
+    /// resynthesized cost in `gates`/`t_count`.
+    pub resynth: Option<ResynthRowData>,
 }
 
 /// The before-figures and rewrite counters of an `opt_bench` row.
@@ -109,6 +132,17 @@ pub struct OptRowData {
     pub t_count_in: u64,
     /// Accepted rewrites per rule.
     pub stats: qda_rev::opt::OptStats,
+}
+
+/// The before-figures and window accounting of a `resynth_bench` row.
+#[derive(Clone, Copy, Debug)]
+pub struct ResynthRowData {
+    /// Gate count of the input circuit.
+    pub gates_in: usize,
+    /// T-count of the input circuit.
+    pub t_count_in: u64,
+    /// Window accounting of the resynthesis pass.
+    pub stats: qda_rev::resynth::ResynthStats,
 }
 
 impl BenchRow {
@@ -127,6 +161,7 @@ impl BenchRow {
                 states_per_sec: None,
                 cubes_in: None,
                 opt: None,
+                resynth: None,
             }),
         }
     }
@@ -152,6 +187,7 @@ impl BenchRow {
                 states_per_sec: None,
                 cubes_in: None,
                 opt: None,
+                resynth: None,
             }),
         }
     }
@@ -181,6 +217,7 @@ impl BenchRow {
                 states_per_sec: Some(states as f64 / runtime_s.max(f64::EPSILON)),
                 cubes_in: None,
                 opt: None,
+                resynth: None,
             }),
         }
     }
@@ -213,6 +250,7 @@ impl BenchRow {
                 states_per_sec: None,
                 cubes_in: Some(cubes_in as u64),
                 opt: None,
+                resynth: None,
             }),
         }
     }
@@ -241,6 +279,43 @@ impl BenchRow {
                 states_per_sec: None,
                 cubes_in: None,
                 opt: Some(OptRowData {
+                    gates_in: before.gates,
+                    t_count_in: before.t_count,
+                    stats,
+                }),
+                resynth: None,
+            }),
+        }
+    }
+
+    /// A row for a windowed-resynthesis measurement (`resynth_bench`):
+    /// the resynthesis pass took a `qubits`-line circuit from `before`
+    /// to `after` in `runtime_s` seconds, with `stats` accounting for
+    /// every window it attempted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_resynth(
+        design: &str,
+        n: usize,
+        flow: &str,
+        before: &qda_rev::cost::CircuitCost,
+        after: &qda_rev::cost::CircuitCost,
+        stats: qda_rev::resynth::ResynthStats,
+        runtime_s: f64,
+    ) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: flow.to_string(),
+            data: Ok(BenchData {
+                qubits: after.qubits,
+                t_count: after.t_count,
+                gates: after.gates,
+                runtime_s,
+                stages: None,
+                states_per_sec: None,
+                cubes_in: None,
+                opt: None,
+                resynth: Some(ResynthRowData {
                     gates_in: before.gates,
                     t_count_in: before.t_count,
                     stats,
@@ -280,6 +355,7 @@ impl BenchRow {
                             ("optimize_s", secs(stages.optimize)),
                             ("synthesis_s", secs(stages.synthesis)),
                             ("post_opt_s", secs(stages.post_opt)),
+                            ("resynth_s", secs(stages.resynth)),
                             ("verification_s", secs(stages.verification)),
                         ]),
                     ));
@@ -300,6 +376,20 @@ impl BenchRow {
                             ("merge_polarity", Json::Int(opt.stats.polarity_merges)),
                             ("merge_subset", Json::Int(opt.stats.subset_merges)),
                             ("not_absorb", Json::Int(opt.stats.not_absorptions)),
+                        ]),
+                    ));
+                }
+                if let Some(resynth) = &d.resynth {
+                    pairs.push(("gates_in".to_string(), Json::Int(resynth.gates_in as u64)));
+                    pairs.push(("t_count_in".to_string(), Json::Int(resynth.t_count_in)));
+                    pairs.push((
+                        "windows".to_string(),
+                        Json::object([
+                            ("attempted", Json::Int(resynth.stats.windows_attempted)),
+                            ("accepted", Json::Int(resynth.stats.windows_accepted)),
+                            ("rejected", Json::Int(resynth.stats.windows_rejected)),
+                            ("unsound", Json::Int(resynth.stats.candidates_unsound)),
+                            ("passes", Json::Int(resynth.stats.passes)),
                         ]),
                     ));
                 }
@@ -483,10 +573,40 @@ mod tests {
             "optimize_s",
             "synthesis_s",
             "post_opt_s",
+            "resynth_s",
             "verification_s",
             "t_count",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn resynth_rows_carry_before_figures_and_window_accounting() {
+        let mut before = qda_rev::circuit::Circuit::new(3);
+        before.cnot(0, 1);
+        before.cnot(0, 1);
+        before.not(2);
+        let out = qda_revsynth::resynth::resynthesize_circuit(
+            &before,
+            &qda_rev::resynth::ResynthOptions::default(),
+        );
+        let mut r = BenchResults::new("resynth");
+        r.push(BenchRow::from_resynth(
+            "PAIR",
+            3,
+            "resynth (TBS/ESOP/linear)",
+            &before.cost(),
+            &out.circuit.cost(),
+            out.stats,
+            0.001,
+        ));
+        let json = r.to_json();
+        assert!(json.contains(r#""gates_in": 3"#));
+        assert!(json.contains(r#""attempted":"#));
+        assert!(json.contains(r#""unsound": 0"#));
+        assert!(json.contains(r#""passes":"#));
+        assert!(json.contains(r#""flow": "resynth (TBS/ESOP/linear)""#));
+        assert!(!json.contains("rewrites"));
     }
 }

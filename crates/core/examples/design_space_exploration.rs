@@ -112,6 +112,7 @@ fn main() {
             "optimize",
             "synthesis",
             "post-opt",
+            "resynth",
             "verify",
             "total",
         ],

@@ -5,9 +5,14 @@
 
 use crate::design::Design;
 use crate::flow::{Flow, FlowError, FlowOutcome, FrontendCache};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use qda_rev::circuit::Circuit;
+use qda_rev::cost::CircuitCost;
+use qda_rev::opt::{optimize_checked, OptOptions, OptStats};
+use qda_rev::resynth::{ResynthOptions, ResynthStats};
+use qda_revsynth::resynth::resynthesize_circuit_checked;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Optimization objective for picking a winner.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -171,6 +176,288 @@ impl DesignSpaceExplorer {
     pub fn total_runtime(&self) -> Duration {
         self.outcomes.iter().map(|o| o.runtime).sum()
     }
+
+    /// Runs the {flow × post_opt × post_resynth} configuration portfolio
+    /// on every design, racing the configurations against each other.
+    ///
+    /// Two phases, both dispatched over `workers` OS threads (`0` means
+    /// one per available CPU):
+    ///
+    /// 1. **Raw synthesis** — every flow that offers a
+    ///    [`Flow::raw_variant`] runs once per design with both
+    ///    post-synthesis passes off. As results land, each design's best
+    ///    raw T-count races through an [`AtomicU64`] (`fetch_min`).
+    /// 2. **Refinement** — the post-pass combinations (`+opt`,
+    ///    `+resynth`, `+opt+resynth`) are applied to each raw circuit.
+    ///    A configuration whose raw T-count exceeds
+    ///    [`PORTFOLIO_CUTOFF_FACTOR`] × the design's best raw T-count is
+    ///    **cut off**: its refinement work is skipped and its raw cost
+    ///    reported, because no peephole/resynthesis pass recovers a
+    ///    multiple-of-the-leader gap.
+    ///
+    /// The phase barrier is what keeps the race deterministic: cutoff
+    /// decisions read the *settled* phase-1 minimum, never a moving
+    /// value, so the returned portfolio — order, costs, circuits,
+    /// cut-off flags — is identical for every worker count (only
+    /// [`PortfolioOutcome::runtime`] varies, and the deterministic
+    /// report excludes it).
+    pub fn explore_portfolio(&self, designs: &[Design], workers: usize) -> Portfolio {
+        let workers = match workers {
+            0 => default_workers(),
+            w => w,
+        };
+        let cache = FrontendCache::new();
+        let raws: Vec<Box<dyn Flow>> = self.flows.iter().filter_map(|f| f.raw_variant()).collect();
+        let num_raw = designs.len() * raws.len();
+        type RawResult = Result<FlowOutcome, (String, FlowError)>;
+
+        // Phase 1: raw synthesis, racing the per-design best T-count.
+        let best_raw_t: Vec<AtomicU64> = designs.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
+        let raw_slots: Vec<Mutex<Option<RawResult>>> =
+            (0..num_raw).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let run_raw = |job: usize| {
+            let design_idx = job / raws.len();
+            let design = &designs[design_idx];
+            let raw = &raws[job % raws.len()];
+            let result = raw
+                .precheck(design)
+                .and_then(|()| cache.get_or_compute(design, &raw.frontend_options()))
+                .and_then(|frontend| raw.run_with_frontend(design, &frontend))
+                .map_err(|e| (raw.name(), e));
+            if let Ok(outcome) = &result {
+                best_raw_t[design_idx].fetch_min(outcome.cost.t_count, Ordering::Relaxed);
+            }
+            *raw_slots[job].lock().expect("slot lock") = Some(result);
+        };
+        run_jobs(workers, num_raw, &next, &run_raw);
+
+        let mut failures: Vec<(String, FlowError)> = Vec::new();
+        let raw_outcomes: Vec<Option<FlowOutcome>> = raw_slots
+            .into_iter()
+            .map(
+                |slot| match slot.into_inner().expect("slot lock").expect("job ran") {
+                    Ok(outcome) => Some(outcome),
+                    Err(failure) => {
+                        failures.push(failure);
+                        None
+                    }
+                },
+            )
+            .collect();
+
+        // Phase 2: refinement combos against the settled phase-1 minima.
+        const COMBOS: [(bool, bool); 3] = [(true, false), (false, true), (true, true)];
+        let num_refine = num_raw * COMBOS.len();
+        type RefineResult = Result<PortfolioOutcome, (String, FlowError)>;
+        let refine_slots: Vec<Mutex<Option<RefineResult>>> =
+            (0..num_refine).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let run_refine = |job: usize| {
+            let raw_idx = job / COMBOS.len();
+            let (post_opt, post_resynth) = COMBOS[job % COMBOS.len()];
+            let Some(raw) = &raw_outcomes[raw_idx] else {
+                return; // raw synthesis failed; already recorded
+            };
+            let bound = best_raw_t[raw_idx / raws.len()].load(Ordering::Relaxed);
+            let cut_off = raw.cost.t_count > PORTFOLIO_CUTOFF_FACTOR.saturating_mul(bound);
+            let result = if cut_off {
+                Ok(portfolio_row(raw, post_opt, post_resynth, true))
+            } else {
+                refine(raw, post_opt, post_resynth)
+            };
+            *refine_slots[job].lock().expect("slot lock") = Some(result);
+        };
+        run_jobs(workers, num_refine, &next, &run_refine);
+
+        // Drain deterministically: per (design, flow), the raw row first,
+        // then its three refinements in combo order.
+        let mut outcomes = Vec::with_capacity(num_raw * (1 + COMBOS.len()));
+        let mut refined = refine_slots.into_iter();
+        for raw in &raw_outcomes {
+            let rows: Vec<Option<RefineResult>> = (&mut refined)
+                .take(COMBOS.len())
+                .map(|slot| slot.into_inner().expect("slot lock"))
+                .collect();
+            let Some(raw) = raw else { continue };
+            outcomes.push(portfolio_row(raw, false, false, false));
+            for row in rows {
+                match row.expect("refinement ran for a successful raw job") {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(failure) => failures.push(failure),
+                }
+            }
+        }
+        Portfolio { outcomes, failures }
+    }
+}
+
+/// Dispatches `num_jobs` jobs over `workers` threads (inline when 1).
+fn run_jobs(workers: usize, num_jobs: usize, next: &AtomicUsize, run: &(dyn Fn(usize) + Sync)) {
+    if workers <= 1 {
+        (0..num_jobs).for_each(run);
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(num_jobs.max(1)) {
+                s.spawn(|| loop {
+                    let job = next.fetch_add(1, Ordering::Relaxed);
+                    if job >= num_jobs {
+                        break;
+                    }
+                    run(job);
+                });
+            }
+        });
+    }
+}
+
+/// A portfolio row wrapping a raw outcome unchanged (the raw
+/// configuration itself, or a cut-off refinement).
+fn portfolio_row(
+    raw: &FlowOutcome,
+    post_opt: bool,
+    post_resynth: bool,
+    cut_off: bool,
+) -> PortfolioOutcome {
+    PortfolioOutcome {
+        design: raw.design,
+        flow_name: raw.flow_name.clone(),
+        post_opt,
+        post_resynth,
+        cut_off,
+        raw_cost: raw.cost,
+        cost: raw.cost,
+        circuit: raw.circuit.clone(),
+        opt_stats: None,
+        resynth_stats: None,
+        runtime: Duration::ZERO,
+    }
+}
+
+/// Applies the requested post-synthesis passes to a raw outcome. Both
+/// passes carry their own equivalence gates, so the refined circuit is
+/// machine-checked against the raw one.
+fn refine(
+    raw: &FlowOutcome,
+    post_opt: bool,
+    post_resynth: bool,
+) -> Result<PortfolioOutcome, (String, FlowError)> {
+    let start = Instant::now();
+    let mut circuit = raw.circuit.clone();
+    let mut opt_stats = None;
+    let mut resynth_stats = None;
+    if post_opt {
+        match optimize_checked(&circuit, &OptOptions::default()) {
+            Ok(optimized) => {
+                circuit = optimized.circuit;
+                opt_stats = Some(optimized.stats);
+            }
+            Err(witness) => {
+                return Err((
+                    configuration_name(&raw.flow_name, post_opt, post_resynth),
+                    FlowError::PostOptUnsound { witness },
+                ))
+            }
+        }
+    }
+    if post_resynth {
+        match resynthesize_circuit_checked(&circuit, &ResynthOptions::default()) {
+            Ok(r) => {
+                circuit = r.circuit;
+                resynth_stats = Some(r.stats);
+            }
+            Err(witness) => {
+                return Err((
+                    configuration_name(&raw.flow_name, post_opt, post_resynth),
+                    FlowError::ResynthUnsound { witness },
+                ))
+            }
+        }
+    }
+    let cost = circuit.cost();
+    Ok(PortfolioOutcome {
+        design: raw.design,
+        flow_name: raw.flow_name.clone(),
+        post_opt,
+        post_resynth,
+        cut_off: false,
+        raw_cost: raw.cost,
+        cost,
+        circuit,
+        opt_stats,
+        resynth_stats,
+        runtime: start.elapsed(),
+    })
+}
+
+/// `"<flow> [+opt+resynth]"`-style label of one portfolio configuration.
+pub fn configuration_name(flow_name: &str, post_opt: bool, post_resynth: bool) -> String {
+    let combo = match (post_opt, post_resynth) {
+        (false, false) => "raw",
+        (true, false) => "+opt",
+        (false, true) => "+resynth",
+        (true, true) => "+opt+resynth",
+    };
+    format!("{flow_name} [{combo}]")
+}
+
+/// A refinement configuration is cut off when its raw T-count exceeds
+/// this factor times the design's best raw T-count: post-synthesis
+/// passes only ever shave constant fractions, never a multiple-of-the-
+/// leader gap.
+pub const PORTFOLIO_CUTOFF_FACTOR: u64 = 4;
+
+/// One {flow × post_opt × post_resynth} configuration's result on one
+/// design.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The design that was synthesized.
+    pub design: Design,
+    /// Base flow name (without the configuration suffix; see
+    /// [`configuration_name`]).
+    pub flow_name: String,
+    /// Whether the peephole optimizer ran in this configuration.
+    pub post_opt: bool,
+    /// Whether the windowed resynthesis pass ran in this configuration.
+    pub post_resynth: bool,
+    /// Whether the configuration lost the race and skipped its
+    /// refinement work (its `cost` then equals `raw_cost`).
+    pub cut_off: bool,
+    /// Cost of the raw synthesis output this configuration started from.
+    pub raw_cost: CircuitCost,
+    /// Cost after this configuration's refinement passes.
+    pub cost: CircuitCost,
+    /// The configuration's final circuit.
+    pub circuit: Circuit,
+    /// Peephole optimizer statistics (when `post_opt` ran).
+    pub opt_stats: Option<OptStats>,
+    /// Resynthesis statistics (when `post_resynth` ran).
+    pub resynth_stats: Option<ResynthStats>,
+    /// Wall-clock refinement time (zero for raw/cut-off rows; excluded
+    /// from deterministic reports).
+    pub runtime: Duration,
+}
+
+/// Everything [`DesignSpaceExplorer::explore_portfolio`] produced.
+#[derive(Debug, Default)]
+pub struct Portfolio {
+    /// Per-configuration outcomes, in deterministic (design-major, then
+    /// flow registration, then raw/`+opt`/`+resynth`/`+opt+resynth`)
+    /// order.
+    pub outcomes: Vec<PortfolioOutcome>,
+    /// Configurations that failed, with reasons, in the same order.
+    pub failures: Vec<(String, FlowError)>,
+}
+
+impl Portfolio {
+    /// The cheapest configuration for `design` under the
+    /// (T-count, gates, qubits) lexicographic order.
+    pub fn best_for(&self, design: &Design) -> Option<&PortfolioOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.design == *design)
+            .min_by_key(|o| (o.cost.t_count, o.cost.gates, o.cost.qubits))
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +542,68 @@ mod tests {
         assert_eq!(added, 1);
         assert_eq!(dse.failures().len(), 1);
         assert!(dse.failures()[0].0.contains("functional"));
+    }
+
+    #[test]
+    fn portfolio_covers_the_configuration_grid() {
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+        dse.add_flow(Box::new(HierarchicalFlow::default()));
+        let design = Design::intdiv(4);
+        let p = dse.explore_portfolio(&[design], 1);
+        // 2 flows × {raw, +opt, +resynth, +opt+resynth}.
+        assert_eq!(p.outcomes.len(), 8);
+        assert!(p.failures.is_empty());
+        for o in &p.outcomes {
+            assert!(o.cost.t_count <= o.raw_cost.t_count);
+            assert!(o.cost.gates <= o.raw_cost.gates);
+            assert_eq!(o.opt_stats.is_some(), o.post_opt && !o.cut_off);
+            assert_eq!(o.resynth_stats.is_some(), o.post_resynth && !o.cut_off);
+        }
+        // The grid starts with the raw row of the first flow.
+        assert!(!p.outcomes[0].post_opt && !p.outcomes[0].post_resynth);
+        let best = p.best_for(&design).expect("some configuration won");
+        assert!(best.cost.t_count <= p.outcomes[0].cost.t_count);
+    }
+
+    #[test]
+    fn portfolio_cuts_off_hopeless_configurations() {
+        let mut dse = DesignSpaceExplorer::new();
+        // TBS raw T-count is a large multiple of hierarchical raw
+        // T-count on INTDIV(4), so every functional refinement loses the
+        // race; the raw rows themselves are always reported.
+        dse.add_flow(Box::new(FunctionalFlow::default()));
+        dse.add_flow(Box::new(HierarchicalFlow::default()));
+        let p = dse.explore_portfolio(&[Design::intdiv(4)], 1);
+        let functional: Vec<_> = p
+            .outcomes
+            .iter()
+            .filter(|o| o.flow_name.contains("functional") && (o.post_opt || o.post_resynth))
+            .collect();
+        assert!(!functional.is_empty());
+        assert!(
+            functional.iter().all(|o| o.cut_off),
+            "functional refinements must lose the race"
+        );
+        assert!(functional.iter().all(|o| o.cost == o.raw_cost));
+        let hier: Vec<_> = p
+            .outcomes
+            .iter()
+            .filter(|o| o.flow_name.contains("hierarchical"))
+            .collect();
+        assert!(hier.iter().all(|o| !o.cut_off), "the leader always runs");
+    }
+
+    #[test]
+    fn portfolio_records_raw_failures() {
+        let mut dse = DesignSpaceExplorer::new();
+        dse.add_flow(Box::new(FunctionalFlow::default())); // too large at 16
+        dse.add_flow(Box::new(HierarchicalFlow::default()));
+        let p = dse.explore_portfolio(&[Design::intdiv(16)], 2);
+        assert_eq!(p.failures.len(), 1);
+        assert!(p.failures[0].0.contains("functional"));
+        // Only the hierarchical grid remains.
+        assert_eq!(p.outcomes.len(), 4);
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //!
 //! The back of the pipeline is shared too: every flow routes its raw
 //! synthesis output through the post-synthesis peephole optimizer
-//! (`qda_rev::opt`, the `post_opt` flag, default on) before costing and
-//! verification. Each optimizer run is equivalence-checked against the
-//! unoptimized circuit by batch simulation, so a bad rewrite fails the
-//! flow ([`FlowError::PostOptUnsound`]) instead of skewing the tables.
+//! (`qda_rev::opt`, the `post_opt` flag, default on) and optionally the
+//! windowed resynthesis pass (`qda_rev::resynth`, the `post_resynth`
+//! flag — default off, on for the hierarchical flow whose Bennett
+//! cascades carry the beyond-peephole redundancy it targets) before
+//! costing and verification. Each pass is equivalence-checked against
+//! its input circuit by batch simulation, so a bad rewrite fails the
+//! flow ([`FlowError::PostOptUnsound`] / [`FlowError::ResynthUnsound`])
+//! instead of skewing the tables.
 
 use crate::design::Design;
 use qda_classical::collapse::{collapse_to_bdds, CollapseError};
@@ -35,6 +39,7 @@ use qda_rev::circuit::Circuit;
 use qda_rev::cost::CircuitCost;
 use qda_rev::equiv::{verify_computes, VerifyOptions, VerifyOutcome};
 use qda_rev::opt::{optimize_checked, OptMismatch, OptOptions, OptStats};
+use qda_rev::resynth::{ResynthOptions, ResynthStats};
 use qda_revsynth::embed::optimum_embedding;
 use qda_revsynth::esop::{synthesize_esop, EsopSynthOptions};
 use qda_revsynth::hierarchical::{synthesize_xmg, CleanupStrategy, HierarchicalOptions};
@@ -70,6 +75,13 @@ pub enum FlowError {
         /// The witness state and the two diverging end states.
         witness: OptMismatch,
     },
+    /// The windowed resynthesis pass changed the circuit function — a
+    /// back-end or splice bug, caught by the whole-circuit equivalence
+    /// gate of `qda_rev::resynth::resynthesize_checked`.
+    ResynthUnsound {
+        /// The witness state and the two diverging end states.
+        witness: OptMismatch,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -83,6 +95,9 @@ impl fmt::Display for FlowError {
             }
             FlowError::PostOptUnsound { witness } => {
                 write!(f, "post-synthesis optimization unsound: {witness}")
+            }
+            FlowError::ResynthUnsound { witness } => {
+                write!(f, "windowed resynthesis unsound: {witness}")
             }
         }
     }
@@ -121,6 +136,10 @@ pub struct StageTimings {
     /// including its batch-simulation soundness check (zero when the
     /// flow ran with `post_opt` off).
     pub post_opt: Duration,
+    /// Windowed resynthesis of the MPMCT circuit, including its
+    /// per-splice and whole-circuit soundness checks (zero when the flow
+    /// ran with `post_resynth` off).
+    pub resynth: Duration,
     /// Equivalence check of the synthesized circuit (bit-parallel batch
     /// simulation against the golden AIG).
     pub verification: Duration,
@@ -129,7 +148,12 @@ pub struct StageTimings {
 impl StageTimings {
     /// Sum of all stages — the flow's total runtime.
     pub fn total(&self) -> Duration {
-        self.parse_elaborate + self.optimize + self.synthesis + self.post_opt + self.verification
+        self.parse_elaborate
+            + self.optimize
+            + self.synthesis
+            + self.post_opt
+            + self.resynth
+            + self.verification
     }
 }
 
@@ -152,6 +176,9 @@ pub struct FlowOutcome {
     /// Per-rule rewrite counts of the post-synthesis optimizer (`None`
     /// when the flow ran with `post_opt` off).
     pub opt_stats: Option<OptStats>,
+    /// Per-window accounting of the resynthesis pass (`None` when the
+    /// flow ran with `post_resynth` off).
+    pub resynth_stats: Option<ResynthStats>,
     /// Wall-clock flow runtime (sum of [`FlowOutcome::stages`]).
     pub runtime: Duration,
     /// Per-stage runtime breakdown.
@@ -319,6 +346,16 @@ pub trait Flow: Send + Sync {
         let frontend = compute_frontend(design, &self.frontend_options())?;
         self.run_with_frontend(design, &frontend)
     }
+
+    /// A copy of this flow with both post-synthesis passes (`post_opt`,
+    /// `post_resynth`) turned off — the raw configuration portfolio
+    /// exploration starts from, so the refinement combinations can be
+    /// applied (and raced) on the one raw synthesis result instead of
+    /// re-running synthesis per configuration. `None` (the default)
+    /// excludes the flow from portfolio exploration.
+    fn raw_variant(&self) -> Option<Box<dyn Flow>> {
+        None
+    }
 }
 
 /// Optimizes (when requested) and verifies a circuit against the design
@@ -334,6 +371,7 @@ fn finish(
     synthesis_start: Instant,
     check_clean: bool,
     post_opt: bool,
+    post_resynth: bool,
 ) -> Result<FlowOutcome, FlowError> {
     let synthesis = synthesis_start.elapsed();
     // Post-synthesis peephole optimization. Every run is equivalence-
@@ -345,6 +383,20 @@ fn finish(
         match optimize_checked(&circuit, &OptOptions::default()) {
             Ok(optimized) => (optimized.circuit, Some(optimized.stats), start.elapsed()),
             Err(witness) => return Err(FlowError::PostOptUnsound { witness }),
+        }
+    } else {
+        (circuit, None, Duration::ZERO)
+    };
+    // Windowed resynthesis, under the same contract: the whole rewritten
+    // circuit is equivalence-checked against its input before costing.
+    let (circuit, resynth_stats, resynth_time) = if post_resynth {
+        let start = Instant::now();
+        match qda_revsynth::resynth::resynthesize_circuit_checked(
+            &circuit,
+            &ResynthOptions::default(),
+        ) {
+            Ok(r) => (r.circuit, Some(r.stats), start.elapsed()),
+            Err(witness) => return Err(FlowError::ResynthUnsound { witness }),
         }
     } else {
         (circuit, None, Duration::ZERO)
@@ -386,6 +438,7 @@ fn finish(
         optimize: frontend.optimize,
         synthesis,
         post_opt: post_opt_time,
+        resynth: resynth_time,
         verification: verification_start.elapsed(),
     };
     let cost = circuit.cost();
@@ -397,6 +450,7 @@ fn finish(
         output_lines,
         cost,
         opt_stats,
+        resynth_stats,
         runtime: stages.total(),
         stages,
         verification,
@@ -421,6 +475,9 @@ pub struct FunctionalFlow {
     pub max_lines: usize,
     /// Run the post-synthesis peephole optimizer (default on).
     pub post_opt: bool,
+    /// Run the windowed resynthesis pass (default off — TBS output is
+    /// already the product of whole-permutation synthesis).
+    pub post_resynth: bool,
 }
 
 impl Default for FunctionalFlow {
@@ -430,6 +487,7 @@ impl Default for FunctionalFlow {
             direction: TbsDirection::Bidirectional,
             max_lines: 25,
             post_opt: true,
+            post_resynth: false,
         }
     }
 }
@@ -445,6 +503,14 @@ impl Flow for FunctionalFlow {
 
     fn precheck(&self, design: &Design) -> Result<(), FlowError> {
         self.check_size(design)
+    }
+
+    fn raw_variant(&self) -> Option<Box<dyn Flow>> {
+        Some(Box::new(Self {
+            post_opt: false,
+            post_resynth: false,
+            ..self.clone()
+        }))
     }
 
     fn run_with_frontend(
@@ -475,6 +541,7 @@ impl Flow for FunctionalFlow {
             start,
             false,
             self.post_opt,
+            self.post_resynth,
         )
     }
 }
@@ -511,6 +578,9 @@ pub struct EsopFlow {
     pub bdd_node_limit: usize,
     /// Run the post-synthesis peephole optimizer (default on).
     pub post_opt: bool,
+    /// Run the windowed resynthesis pass (default off — exorcism already
+    /// minimized the cube list the gates came from).
+    pub post_resynth: bool,
 }
 
 impl EsopFlow {
@@ -525,6 +595,7 @@ impl EsopFlow {
             },
             bdd_node_limit: 2_000_000,
             post_opt: true,
+            post_resynth: false,
         }
     }
 }
@@ -564,7 +635,16 @@ impl Flow for EsopFlow {
             start,
             true,
             self.post_opt,
+            self.post_resynth,
         )
+    }
+
+    fn raw_variant(&self) -> Option<Box<dyn Flow>> {
+        Some(Box::new(Self {
+            post_opt: false,
+            post_resynth: false,
+            ..self.clone()
+        }))
     }
 }
 
@@ -581,6 +661,11 @@ pub struct HierarchicalFlow {
     pub synth: HierarchicalOptions,
     /// Run the post-synthesis peephole optimizer (default on).
     pub post_opt: bool,
+    /// Run the windowed resynthesis pass (default **on** — Bennett-style
+    /// compute/copy/uncompute cascades carry exactly the bounded-support
+    /// redundancy the pass targets, and the peephole catalogue cannot
+    /// reach it).
+    pub post_resynth: bool,
 }
 
 impl HierarchicalFlow {
@@ -593,6 +678,7 @@ impl HierarchicalFlow {
                 inplace_xor: strategy == CleanupStrategy::Bennett,
             },
             post_opt: true,
+            post_resynth: true,
         }
     }
 }
@@ -631,7 +717,16 @@ impl Flow for HierarchicalFlow {
             start,
             check_clean,
             self.post_opt,
+            self.post_resynth,
         )
+    }
+
+    fn raw_variant(&self) -> Option<Box<dyn Flow>> {
+        Some(Box::new(Self {
+            post_opt: false,
+            post_resynth: false,
+            ..self.clone()
+        }))
     }
 }
 
@@ -670,6 +765,10 @@ impl fmt::Display for FlowGraph {
         writeln!(
             f,
             "                   peephole opt (cancel/merge/NOT-prop)  [qda-rev::opt]"
+        )?;
+        writeln!(
+            f,
+            "                   windowed resynth (TBS/ESOP/linear)    [qda-rev::resynth]"
         )?;
         writeln!(f, "                    |           |           |")?;
         writeln!(f, "quantum level     reversible circuits: qubits × T-count")?;
@@ -808,16 +907,64 @@ mod tests {
         let design = Design::intdiv(5);
         let raw = HierarchicalFlow {
             post_opt: false,
+            post_resynth: false,
             ..Default::default()
         }
         .run(&design)
         .unwrap();
         assert_eq!(raw.opt_stats, None);
+        assert_eq!(raw.resynth_stats, None);
         assert_eq!(raw.stages.post_opt, Duration::ZERO);
+        assert_eq!(raw.stages.resynth, Duration::ZERO);
         let opt = HierarchicalFlow::default().run(&design).unwrap();
         assert!(opt.cost.gates < raw.cost.gates, "optimizer must bite");
         assert!(opt.cost.t_count <= raw.cost.t_count);
         assert_eq!(opt.cost.qubits, raw.cost.qubits, "lines untouched");
+    }
+
+    #[test]
+    fn post_resynth_defaults_on_for_hierarchical_and_reduces_further() {
+        let design = Design::intdiv(5);
+        let peephole_only = HierarchicalFlow {
+            post_resynth: false,
+            ..Default::default()
+        }
+        .run(&design)
+        .unwrap();
+        assert_eq!(peephole_only.resynth_stats, None);
+        let full = HierarchicalFlow::default().run(&design).unwrap();
+        let stats = full.resynth_stats.expect("post_resynth defaults to on");
+        assert_eq!(
+            stats.windows_attempted,
+            stats.windows_accepted + stats.windows_rejected
+        );
+        assert_eq!(stats.candidates_unsound, 0);
+        assert!(
+            full.cost.gates < peephole_only.cost.gates,
+            "resynthesis must bite beyond the peephole pass on Bennett output \
+             ({} vs {} gates)",
+            full.cost.gates,
+            peephole_only.cost.gates
+        );
+        assert!(full.cost.t_count <= peephole_only.cost.t_count);
+        assert_eq!(full.verification, VerifyOutcome::Verified);
+    }
+
+    #[test]
+    fn raw_variants_disable_both_post_passes() {
+        let design = Design::intdiv(4);
+        let flows: Vec<Box<dyn Flow>> = vec![
+            Box::new(FunctionalFlow::default()),
+            Box::new(EsopFlow::with_factoring(1)),
+            Box::new(HierarchicalFlow::default()),
+        ];
+        for flow in flows {
+            let raw = flow.raw_variant().expect("concrete flows reconfigure");
+            assert_eq!(raw.name(), flow.name(), "raw variant keeps the name");
+            let outcome = raw.run(&design).unwrap();
+            assert_eq!(outcome.opt_stats, None, "{}", flow.name());
+            assert_eq!(outcome.resynth_stats, None, "{}", flow.name());
+        }
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod flow;
 pub mod report;
 
 pub use design::Design;
-pub use dse::{default_workers, DesignSpaceExplorer, Objective};
+pub use dse::{
+    default_workers, DesignSpaceExplorer, Objective, Portfolio, PortfolioOutcome,
+    PORTFOLIO_CUTOFF_FACTOR,
+};
 pub use flow::{
     compute_frontend, EsopFlow, Flow, FlowError, FlowOutcome, FrontendArtifacts, FrontendCache,
     FunctionalFlow, HierarchicalFlow, StageTimings,

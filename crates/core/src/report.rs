@@ -1,5 +1,6 @@
 //! Paper-style result tables and baseline comparisons.
 
+use crate::dse::{configuration_name, PortfolioOutcome};
 use crate::flow::FlowOutcome;
 use std::fmt;
 
@@ -59,7 +60,8 @@ impl Table {
 
     /// Renders the per-stage timing breakdown of a [`FlowOutcome`]:
     /// flow name, then seconds for parse+elaborate, optimize, synthesis,
-    /// post-synthesis circuit optimization, verification, and the total.
+    /// post-synthesis circuit optimization, windowed resynthesis,
+    /// verification, and the total.
     pub fn stage_row(outcome: &FlowOutcome) -> Vec<String> {
         let s = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
         vec![
@@ -68,6 +70,7 @@ impl Table {
             s(outcome.stages.optimize),
             s(outcome.stages.synthesis),
             s(outcome.stages.post_opt),
+            s(outcome.stages.resynth),
             s(outcome.stages.verification),
             s(outcome.stages.total()),
         ]
@@ -91,6 +94,30 @@ pub fn deterministic_report(outcomes: &[FlowOutcome]) -> String {
             o.cost.qubits,
             group_digits(o.cost.t_count),
             o.cost.gates,
+        ));
+    }
+    out
+}
+
+/// A timing-free portfolio report: one line per configuration, in
+/// portfolio order, listing design, configuration, qubits, T-count, gate
+/// count and race status.
+///
+/// Like [`deterministic_report`], excludes wall-clock figures, so a
+/// parallel [`crate::dse::DesignSpaceExplorer::explore_portfolio`] run
+/// renders **byte-identical** for every worker count.
+pub fn portfolio_report(outcomes: &[PortfolioOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        let status = if o.cut_off { "cut off" } else { "ran" };
+        out.push_str(&format!(
+            "{} | {} | qubits {} | T {} | gates {} | {}\n",
+            o.design.name(),
+            configuration_name(&o.flow_name, o.post_opt, o.post_resynth),
+            o.cost.qubits,
+            group_digits(o.cost.t_count),
+            o.cost.gates,
+            status,
         ));
     }
     out

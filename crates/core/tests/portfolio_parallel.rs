@@ -1,0 +1,62 @@
+//! Determinism contract of portfolio exploration: the racing cutoff is
+//! decided against the *settled* phase-1 minimum, so the whole portfolio
+//! — row order, costs, circuits, cut-off flags, and the timing-free
+//! report — must come out byte-identical for every worker count.
+
+use qda_core::design::Design;
+use qda_core::dse::DesignSpaceExplorer;
+use qda_core::flow::{EsopFlow, FunctionalFlow, HierarchicalFlow};
+use qda_core::report::portfolio_report;
+
+fn fresh_explorer() -> DesignSpaceExplorer {
+    let mut dse = DesignSpaceExplorer::new();
+    dse.add_flow(Box::new(FunctionalFlow::default()));
+    dse.add_flow(Box::new(EsopFlow::with_factoring(0)));
+    dse.add_flow(Box::new(HierarchicalFlow::default()));
+    dse
+}
+
+#[test]
+fn portfolio_is_byte_identical_across_worker_counts() {
+    let designs = [Design::intdiv(4), Design::intdiv(5), Design::newton(4)];
+    let serial = fresh_explorer().explore_portfolio(&designs, 1);
+    let serial_report = portfolio_report(&serial.outcomes);
+    assert!(!serial.outcomes.is_empty());
+    for workers in [2, 4] {
+        let parallel = fresh_explorer().explore_portfolio(&designs, workers);
+        assert_eq!(
+            portfolio_report(&parallel.outcomes),
+            serial_report,
+            "deterministic report must not depend on worker count ({workers})"
+        );
+        assert_eq!(parallel.outcomes.len(), serial.outcomes.len());
+        for (p, s) in parallel.outcomes.iter().zip(&serial.outcomes) {
+            assert_eq!(p.circuit, s.circuit, "{} {}", s.design.name(), s.flow_name);
+            assert_eq!(p.cut_off, s.cut_off);
+            assert_eq!(p.raw_cost, s.raw_cost);
+            assert_eq!(p.opt_stats, s.opt_stats);
+            assert_eq!(p.resynth_stats, s.resynth_stats);
+        }
+        let failures: Vec<&String> = parallel.failures.iter().map(|(n, _)| n).collect();
+        let expected: Vec<&String> = serial.failures.iter().map(|(n, _)| n).collect();
+        assert_eq!(failures, expected);
+    }
+}
+
+#[test]
+fn portfolio_beats_or_matches_every_single_configuration() {
+    // The anytime-optimizer claim: the portfolio's winner is at least as
+    // good as each fixed single-flow configuration, including the
+    // defaults the flow structs ship with.
+    let design = Design::intdiv(5);
+    let portfolio = fresh_explorer().explore_portfolio(&[design], 0);
+    let best = portfolio.best_for(&design).expect("winner exists");
+    for o in &portfolio.outcomes {
+        assert!(best.cost.t_count <= o.cost.t_count);
+    }
+    // And it matches what the full default hierarchical flow (post_opt +
+    // post_resynth on) produces, since that configuration is in the grid.
+    use qda_core::flow::Flow;
+    let reference = HierarchicalFlow::default().run(&design).unwrap();
+    assert!(best.cost.t_count <= reference.cost.t_count);
+}

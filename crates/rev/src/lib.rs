@@ -12,6 +12,10 @@
 //! * [`opt`] — post-synthesis peephole optimization (commutation-aware
 //!   cancellation, control merging, NOT-propagation), every run
 //!   machine-checkable against the original via [`batchsim`],
+//! * [`resynth`] — windowed resynthesis: bounded-support subcircuits are
+//!   replayed into explicit permutations and re-synthesized by pluggable
+//!   [`resynth::WindowSynthesizer`] back-ends, with the same per-splice
+//!   and whole-circuit soundness gates as [`opt`],
 //! * [`blocks`] — hand-crafted reversible arithmetic (Cuccaro ripple-carry
 //!   adder, controlled adders, comparators, shift-and-add multipliers) used
 //!   by the manual RESDIV/QNEWTON baselines.
@@ -36,11 +40,18 @@ pub mod equiv;
 pub mod gate;
 pub mod io;
 pub mod opt;
+pub mod resynth;
 pub mod state;
+#[cfg(feature = "testkit")]
+pub mod testkit;
 
 pub use batchsim::BatchState;
 pub use circuit::{Circuit, LineAllocator};
 pub use cost::CircuitCost;
 pub use gate::{Control, Gate};
 pub use opt::{optimize, optimize_checked, OptOptions, OptStats};
+pub use resynth::{
+    resynthesize, resynthesize_checked, ResynthOptions, ResynthStats, Resynthesized,
+    WindowSynthesizer,
+};
 pub use state::BitState;

@@ -124,6 +124,33 @@ impl GateList {
         self.gates[id] = Some(gate);
     }
 
+    /// Inserts a gate immediately before the live gate `id`, growing the
+    /// arena by one slot, and returns the new gate's id. O(1); existing
+    /// ids are unaffected, so a splice can interleave insertions with
+    /// removals freely (the resynthesis pass inserts a replacement window
+    /// in order before the first original gate, then removes the
+    /// originals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is dead.
+    pub fn insert_before(&mut self, id: usize, gate: Gate) -> usize {
+        assert!(self.is_live(id), "insert_before of dead id {id}");
+        let new = self.gates.len();
+        let p = self.prev[id];
+        self.gates.push(Some(gate));
+        self.prev.push(p);
+        self.next.push(id);
+        if p == NIL {
+            self.head = new;
+        } else {
+            self.next[p] = new;
+        }
+        self.prev[id] = new;
+        self.len += 1;
+        new
+    }
+
     /// The live gates in cascade order.
     pub fn to_gates(&self) -> Vec<Gate> {
         let mut out = Vec::with_capacity(self.len);
@@ -215,5 +242,46 @@ mod tests {
         let mut list = GateList::new(&sample());
         list.remove(1);
         list.remove(1);
+    }
+
+    #[test]
+    fn insert_before_splices_in_order() {
+        let mut list = GateList::new(&sample());
+        // Replacement window [X(3), X(4)] spliced before gate 2, then the
+        // original gates 2 and 3 removed — the resynthesis access pattern.
+        let a = list.insert_before(2, Gate::not(3));
+        let b = list.insert_before(2, Gate::not(4));
+        assert!(list.is_live(a) && list.is_live(b));
+        list.remove(2);
+        list.remove(3);
+        assert_eq!(
+            list.to_gates(),
+            vec![
+                Gate::not(0),
+                Gate::cnot(0, 1),
+                Gate::not(3),
+                Gate::not(4),
+                Gate::not(2),
+            ]
+        );
+        assert_eq!(list.len(), 5);
+    }
+
+    #[test]
+    fn insert_before_the_head_moves_first() {
+        let mut list = GateList::new(&sample());
+        let id = list.insert_before(list.first(), Gate::not(4));
+        assert_eq!(list.first(), id);
+        assert_eq!(list.to_gates()[0], Gate::not(4));
+        assert_eq!(list.len(), 6);
+        assert_eq!(list.window_before(0, 4), vec![id]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead id")]
+    fn insert_before_a_dead_id_is_loud() {
+        let mut list = GateList::new(&sample());
+        list.remove(2);
+        list.insert_before(2, Gate::not(0));
     }
 }

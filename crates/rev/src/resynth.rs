@@ -1,0 +1,520 @@
+//! Windowed resynthesis of MPMCT circuits: beyond-peephole optimization
+//! by re-entrant synthesis on bounded-support subcircuits.
+//!
+//! The peephole pass ([`crate::opt`]) rewrites with a *local template
+//! catalogue* — pairs of gates brought adjacent by commutation. What it
+//! cannot see is redundancy spread over a whole group of gates: a cluster
+//! whose composite permutation has a much cheaper realization than the
+//! cascade that computes it. This pass closes that gap:
+//!
+//! 1. **Window extraction** — slide over the [`GateList`] arena and
+//!    greedily grow windows of support-connected gates whose combined
+//!    support (targets + controls) fits in at most
+//!    [`ResynthOptions::max_lines`] lines (default 6, hard cap
+//!    [`MAX_WINDOW_LINES`]). Growth commutes past gates on disjoint
+//!    lines, so the compute/use/uncompute triples Bennett cleanup
+//!    scatters through a cascade still land in one window.
+//! 2. **Permutation recovery** — remap the window onto `k` local lines
+//!    and replay all `2^k` basis states through the bit-parallel
+//!    [`crate::batchsim`] engine ([`crate::circuit::Circuit::permutation`]).
+//! 3. **Re-entrant synthesis** — hand the recovered permutation to every
+//!    registered [`WindowSynthesizer`] (the TBS and ESOP back-ends of
+//!    `qda-revsynth`, injected from above because synthesis sits on top
+//!    of this crate) and keep the cheapest candidate.
+//! 4. **Acceptance** — splice the candidate in only when
+//!    [`RewriteCost::accepted`] says it *strictly* improves
+//!    `(T-count, gates)` lexicographically; every splice is re-verified
+//!    against the original window by exhaustive batch simulation first,
+//!    and an unsound candidate is dropped (and counted) rather than
+//!    spliced.
+//!
+//! Passes repeat until a full sweep accepts nothing, so the result is a
+//! fixpoint: running the pass on its own output changes nothing. The
+//! checked entry point [`resynthesize_checked`] mirrors the PR 5
+//! soundness contract of [`crate::opt::optimize_checked`] — the whole
+//! rewritten circuit is equivalence-checked against the original over
+//! the full line space, and a divergence surfaces as an
+//! [`OptMismatch`] witness, never as a silently wrong cost figure.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use crate::opt::rules::RewriteCost;
+use crate::opt::window::{GateList, NIL};
+use crate::opt::{equivalence_witness, OptMismatch};
+
+/// Hard cap on the window support: `2^8` basis states per permutation
+/// recovery keeps every attempt a single batch-simulation sweep.
+pub const MAX_WINDOW_LINES: usize = 8;
+
+/// A synthesis back-end that can re-realize a small explicit permutation
+/// over `log₂ perm.len()` lines *in place* (same line count, no
+/// ancillae). Implementations live above this crate (`qda-revsynth`
+/// provides the TBS, ESOP and linear back-ends); the pass treats them as
+/// untrusted candidate generators — every candidate is simulation-checked
+/// against the window before it may be spliced.
+pub trait WindowSynthesizer: Sync {
+    /// Back-end name (for stats and debugging).
+    fn name(&self) -> &str;
+
+    /// Synthesizes a circuit realizing `perm` over `log₂ perm.len()`
+    /// lines, or `None` when this back-end does not apply.
+    fn synthesize(&self, perm: &[u64]) -> Option<Circuit>;
+}
+
+/// Tuning knobs of the resynthesis pass.
+#[derive(Clone, Copy, Debug)]
+pub struct ResynthOptions {
+    /// Maximum combined support of a window, in lines (clamped to
+    /// [`MAX_WINDOW_LINES`]).
+    pub max_lines: usize,
+    /// Maximum number of gates a window may contain.
+    pub max_window_gates: usize,
+    /// Window growth may commute past at most this many unrelated gates
+    /// (gates whose support is disjoint from the window's). Bennett-style
+    /// compute/use/uncompute triples are separated by exactly such gates,
+    /// so 0 would blind the pass to them; large values trade sweep time
+    /// for reach.
+    pub max_commute_skips: usize,
+}
+
+impl Default for ResynthOptions {
+    fn default() -> Self {
+        Self {
+            max_lines: 6,
+            max_window_gates: 24,
+            max_commute_skips: 64,
+        }
+    }
+}
+
+/// Per-window accounting of one resynthesis run.
+///
+/// Every extracted window is either accepted or rejected:
+/// `windows_attempted == windows_accepted + windows_rejected` holds after
+/// every run, and the gate/T deltas sum over exactly the accepted
+/// windows, so `gates_removed − gates_added` equals the circuit's total
+/// gate-count reduction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResynthStats {
+    /// Windows extracted and costed (≥ 2 gates, support within bounds).
+    pub windows_attempted: u64,
+    /// Windows whose cheapest sound candidate was strictly cheaper and
+    /// was spliced in.
+    pub windows_accepted: u64,
+    /// Windows kept as-is (no candidate, or none strictly cheaper).
+    pub windows_rejected: u64,
+    /// Candidates a back-end produced that failed the window-level batch
+    /// simulation check (or came back on the wrong line count) and were
+    /// dropped before costing. Stays zero with sound back-ends.
+    pub candidates_unsound: u64,
+    /// Gates removed by accepted splices.
+    pub gates_removed: u64,
+    /// Gates inserted by accepted splices.
+    pub gates_added: u64,
+    /// T-count removed by accepted splices.
+    pub t_removed: u64,
+    /// T-count inserted by accepted splices.
+    pub t_added: u64,
+    /// Full sweeps run until the fixpoint (at least 1).
+    pub passes: u64,
+}
+
+impl ResynthStats {
+    /// Net gate-count reduction over the whole run. Negative when
+    /// accepted splices traded extra gates for a strictly lower T-count
+    /// (the acceptance order is lexicographic on `(T-count, gates)`).
+    pub fn gates_saved(&self) -> i64 {
+        self.gates_removed as i64 - self.gates_added as i64
+    }
+
+    /// Net T-count reduction over the whole run (never negative).
+    pub fn t_saved(&self) -> i64 {
+        self.t_removed as i64 - self.t_added as i64
+    }
+}
+
+/// Result of a resynthesis run.
+#[derive(Clone, Debug)]
+pub struct Resynthesized {
+    /// The rewritten circuit (same line count, never lexicographically
+    /// worse on `(T-count, gates)`).
+    pub circuit: Circuit,
+    /// Per-window accounting.
+    pub stats: ResynthStats,
+}
+
+/// The sorted support (targets + control lines) of a gate.
+fn gate_support(g: &Gate) -> Vec<usize> {
+    let mut s: Vec<usize> = g.controls().iter().map(|c| c.line()).collect();
+    s.push(g.target());
+    s.sort_unstable();
+    s
+}
+
+/// Merges `extra`'s lines into the sorted `support`, returning `None`
+/// as soon as the union would exceed `cap`.
+fn merge_support(support: &[usize], extra: &Gate, cap: usize) -> Option<Vec<usize>> {
+    let mut merged = support.to_vec();
+    for line in gate_support(extra) {
+        if let Err(pos) = merged.binary_search(&line) {
+            if merged.len() == cap {
+                return None;
+            }
+            merged.insert(pos, line);
+        }
+    }
+    Some(merged)
+}
+
+/// One sweep over the cascade. Returns `true` when at least one window
+/// was spliced.
+fn sweep(
+    circuit: &mut Circuit,
+    options: &ResynthOptions,
+    synths: &[&dyn WindowSynthesizer],
+    stats: &mut ResynthStats,
+) -> bool {
+    let max_lines = options.max_lines.clamp(1, MAX_WINDOW_LINES);
+    let max_gates = options.max_window_gates.max(2);
+    let mut list = GateList::new(circuit.gates());
+    let mut changed = false;
+    let mut id = list.first();
+    while id != NIL {
+        // Greedily grow the window from `id`: a gate joins when it shares
+        // a line with the window and the union support stays within the
+        // line budget. Gates whose support is *disjoint* from the window
+        // commute past it, so growth may skip over them (their lines are
+        // then poisoned: a later gate touching a skipped line cannot join,
+        // or the commuting argument — and the splice — would be unsound).
+        let mut support = gate_support(list.gate(id));
+        if support.len() > max_lines {
+            id = list.next_live(id);
+            continue;
+        }
+        let mut ids = vec![id];
+        let mut skipped_lines: Vec<usize> = Vec::new();
+        let mut skips_left = options.max_commute_skips;
+        let mut j = list.next_live(id);
+        while j != NIL && ids.len() < max_gates {
+            let g = list.gate(j);
+            let gsup = gate_support(g);
+            let overlaps_window = gsup.iter().any(|l| support.binary_search(l).is_ok());
+            let overlaps_skipped = gsup.iter().any(|l| skipped_lines.binary_search(l).is_ok());
+            if overlaps_window && !overlaps_skipped {
+                let Some(grown) = merge_support(&support, g, max_lines) else {
+                    break;
+                };
+                support = grown;
+                ids.push(j);
+            } else if !overlaps_window && skips_left > 0 {
+                for line in gsup {
+                    if let Err(pos) = skipped_lines.binary_search(&line) {
+                        skipped_lines.insert(pos, line);
+                    }
+                }
+                skips_left -= 1;
+            } else {
+                break;
+            }
+            j = list.next_live(j);
+        }
+        if ids.len() < 2 {
+            id = list.next_live(id);
+            continue;
+        }
+        stats.windows_attempted += 1;
+        // Recover the window's permutation on local lines 0..k.
+        let k = support.len();
+        let mut to_local = vec![usize::MAX; support[k - 1] + 1];
+        for (local, &line) in support.iter().enumerate() {
+            to_local[line] = local;
+        }
+        let mut sub = Circuit::new(k);
+        for &w in &ids {
+            sub.add_gate(list.gate(w).remapped(&to_local));
+        }
+        let perm = sub.permutation();
+        // Collect the cheapest sound candidate.
+        let mut best: Option<Circuit> = None;
+        for synth in synths {
+            let Some(candidate) = synth.synthesize(&perm) else {
+                continue;
+            };
+            // The splice check: a candidate may only replace the window
+            // if batch simulation proves it equivalent on all 2^k states.
+            if candidate.num_lines() != k || equivalence_witness(&sub, &candidate).is_some() {
+                stats.candidates_unsound += 1;
+                continue;
+            }
+            let cheaper = match &best {
+                None => true,
+                Some(b) => {
+                    let (ct, cg) = (candidate.cost().t_count, candidate.num_gates());
+                    let (bt, bg) = (b.cost().t_count, b.num_gates());
+                    (ct, cg) < (bt, bg)
+                }
+            };
+            if cheaper {
+                best = Some(candidate);
+            }
+        }
+        let removed: Vec<&Gate> = ids.iter().map(|&w| list.gate(w)).collect();
+        let accepted = best.as_ref().is_some_and(|b| {
+            let added: Vec<&Gate> = b.gates().iter().collect();
+            RewriteCost::of(&removed, &added).accepted()
+        });
+        if !accepted {
+            stats.windows_rejected += 1;
+            id = list.next_live(id);
+            continue;
+        }
+        let replacement = best.expect("accepted implies a candidate");
+        let cost = {
+            let added: Vec<&Gate> = replacement.gates().iter().collect();
+            RewriteCost::of(&removed, &added)
+        };
+        stats.windows_accepted += 1;
+        stats.gates_removed += cost.gates_removed as u64;
+        stats.gates_added += cost.gates_added as u64;
+        stats.t_removed += cost.t_removed;
+        stats.t_added += cost.t_added;
+        // Splice: insert the replacement (mapped back to circuit lines)
+        // before the window, then drop the original gates.
+        let resume = list.next_live(*ids.last().expect("non-empty window"));
+        for g in replacement.gates() {
+            list.insert_before(ids[0], g.remapped(&support));
+        }
+        for &w in &ids {
+            list.remove(w);
+        }
+        changed = true;
+        id = resume;
+    }
+    if changed {
+        let mut out = Circuit::new(circuit.num_lines());
+        for g in list.to_gates() {
+            out.add_gate(g);
+        }
+        *circuit = out;
+    }
+    changed
+}
+
+/// Runs windowed resynthesis to a fixpoint and returns the rewritten
+/// circuit plus per-window statistics.
+///
+/// The output realizes the same permutation over **all** lines (checked
+/// variant: [`resynthesize_checked`]), keeps the line count, and is never
+/// lexicographically worse on `(T-count, gates)` than the input — every
+/// splice is individually simulation-verified and strictly improving in
+/// that order (a splice may add a gate when it strictly cuts T-count),
+/// so the sweep loop terminates and a second run is a no-op.
+pub fn resynthesize(
+    circuit: &Circuit,
+    options: &ResynthOptions,
+    synths: &[&dyn WindowSynthesizer],
+) -> Resynthesized {
+    let mut out = circuit.clone();
+    let mut stats = ResynthStats::default();
+    loop {
+        stats.passes += 1;
+        if !sweep(&mut out, options, synths, &mut stats) {
+            break;
+        }
+    }
+    let (before, after) = (circuit.cost(), out.cost());
+    assert!(
+        (after.t_count, after.gates) <= (before.t_count, before.gates),
+        "resynthesis acceptance policy violated: {before} -> {after}"
+    );
+    Resynthesized {
+        circuit: out,
+        stats,
+    }
+}
+
+/// [`resynthesize`], then machine-check the rewritten circuit against the
+/// original with [`equivalence_witness`] — the same final gate the
+/// peephole optimizer runs, so an unsound back-end (or a splice bug)
+/// surfaces as a hard error carrying a witness state.
+///
+/// # Errors
+///
+/// Returns the witness when the rewritten circuit diverges.
+pub fn resynthesize_checked(
+    circuit: &Circuit,
+    options: &ResynthOptions,
+    synths: &[&dyn WindowSynthesizer],
+) -> Result<Resynthesized, OptMismatch> {
+    let out = resynthesize(circuit, options, synths);
+    match equivalence_witness(circuit, &out.circuit) {
+        None => Ok(out),
+        Some(witness) => Err(witness),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recognizes identity windows and replaces them with nothing — the
+    /// smallest sound back-end, enough to exercise the splice machinery.
+    struct IdentitySynth;
+    impl WindowSynthesizer for IdentitySynth {
+        fn name(&self) -> &str {
+            "identity"
+        }
+        fn synthesize(&self, perm: &[u64]) -> Option<Circuit> {
+            let r = perm.len().trailing_zeros() as usize;
+            perm.iter()
+                .enumerate()
+                .all(|(x, &y)| x as u64 == y)
+                .then(|| Circuit::new(r))
+        }
+    }
+
+    /// Always returns a *wrong* candidate (an extra NOT), to prove the
+    /// window-level check refuses to splice it.
+    struct BrokenSynth;
+    impl WindowSynthesizer for BrokenSynth {
+        fn name(&self) -> &str {
+            "broken"
+        }
+        fn synthesize(&self, perm: &[u64]) -> Option<Circuit> {
+            let r = perm.len().trailing_zeros() as usize;
+            let mut c = Circuit::new(r);
+            c.not(0);
+            c.not(0);
+            c.not(0);
+            Some(c)
+        }
+    }
+
+    #[test]
+    fn identity_window_is_removed() {
+        // Three gates composing to the identity on lines {0,1,2}, but not
+        // pairwise cancelling — the peephole pass cannot remove them.
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(0, 1);
+        c.toffoli(0, 1, 2);
+        c.toffoli(0, 1, 2);
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &[&IdentitySynth]).unwrap();
+        assert_eq!(out.circuit.num_gates(), 0);
+        assert_eq!(out.circuit.num_lines(), 3);
+        assert_eq!(out.stats.windows_accepted, 1);
+        assert_eq!(out.stats.gates_removed, 4);
+        assert_eq!(out.stats.gates_added, 0);
+    }
+
+    #[test]
+    fn non_identity_windows_are_rejected_and_counted() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.toffoli(0, 1, 2);
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &[&IdentitySynth]).unwrap();
+        assert_eq!(out.circuit.num_gates(), 2);
+        assert_eq!(out.stats.windows_accepted, 0);
+        assert!(out.stats.windows_rejected > 0);
+        assert_eq!(
+            out.stats.windows_attempted,
+            out.stats.windows_accepted + out.stats.windows_rejected
+        );
+    }
+
+    #[test]
+    fn unsound_candidates_are_dropped_not_spliced() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1);
+        c.cnot(1, 0);
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &[&BrokenSynth]).unwrap();
+        assert_eq!(out.circuit.gates(), c.gates(), "broken candidate refused");
+        assert!(out.stats.candidates_unsound > 0);
+        assert_eq!(out.stats.windows_accepted, 0);
+    }
+
+    #[test]
+    fn growth_commutes_past_unrelated_gates() {
+        // The identity pair on {0,1,2} is split by a gate on {5,6}: only
+        // a window that commutes past it can see both halves.
+        let mut c = Circuit::new(7);
+        c.toffoli(0, 1, 2);
+        c.cnot(5, 6);
+        c.toffoli(0, 1, 2);
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &[&IdentitySynth]).unwrap();
+        assert_eq!(out.circuit.num_gates(), 1);
+        assert_eq!(out.circuit.gates()[0], Gate::cnot(5, 6));
+        // With skipping disabled the pair is unreachable again.
+        let stuck = resynthesize(
+            &c,
+            &ResynthOptions {
+                max_commute_skips: 0,
+                ..Default::default()
+            },
+            &[&IdentitySynth],
+        );
+        assert_eq!(stuck.circuit.num_gates(), 3);
+    }
+
+    #[test]
+    fn poisoned_lines_block_unsound_windows() {
+        // The CNOT(0,1) pair would be an identity window, but the gate
+        // between them reads line 1 *and* touches the skipped gate's
+        // line 4 — joining it past the skipped gate, or pairing the
+        // outer CNOTs around it, would both be unsound. Growth must
+        // stop at the poisoned gate and leave the cascade alone.
+        let mut c = Circuit::new(7);
+        c.cnot(0, 1);
+        c.cnot(4, 6);
+        c.cnot(1, 4);
+        c.cnot(0, 1);
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &[&IdentitySynth]).unwrap();
+        assert_eq!(out.circuit.gates(), c.gates(), "no sound identity window");
+    }
+
+    #[test]
+    fn no_synthesizers_means_no_change() {
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2);
+        c.cnot(2, 3);
+        let out = resynthesize(&c, &ResynthOptions::default(), &[]);
+        assert_eq!(out.circuit, c);
+        assert_eq!(out.stats.windows_accepted, 0);
+        assert_eq!(out.stats.passes, 1);
+    }
+
+    #[test]
+    fn window_support_respects_the_cap() {
+        // A spread-out identity pair on lines {0,9}: with max_lines = 2
+        // the window still forms (support is 2 lines), and the identity
+        // back-end removes it.
+        let mut c = Circuit::new(10);
+        c.cnot(0, 9);
+        c.cnot(0, 9);
+        let out = resynthesize(
+            &c,
+            &ResynthOptions {
+                max_lines: 2,
+                ..Default::default()
+            },
+            &[&IdentitySynth],
+        );
+        assert_eq!(out.circuit.num_gates(), 0);
+    }
+
+    #[test]
+    fn options_clamp_to_the_hard_cap() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 1);
+        c.cnot(0, 1);
+        let out = resynthesize(
+            &c,
+            &ResynthOptions {
+                max_lines: 99,
+                ..Default::default()
+            },
+            &[&IdentitySynth],
+        );
+        assert_eq!(out.circuit.num_gates(), 0, "cap clamps, not panics");
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared proptest strategies for the differential suites (feature
+//! `testkit`).
+//!
+//! Every crate that differential-tests reversible-circuit machinery —
+//! `qda-rev`'s own suites, `qda-revsynth`'s synthesis properties, and the
+//! flow-level suites in `qda-core` — needs the same two generators: a
+//! random MPMCT cascade and a random permutation. This module is the one
+//! home for them, so the suites stop re-rolling their own (subtly
+//! different) copies and a generator fix reaches every consumer at once.
+//!
+//! Enable it from a dependent's `[dev-dependencies]`:
+//!
+//! ```toml
+//! qda-rev = { workspace = true, features = ["testkit"] }
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::{Control, Gate};
+use proptest::prelude::*;
+
+/// A random mixed-polarity MPMCT circuit: the line count is drawn from
+/// `lines`, followed by up to `max_gates` gates whose target, control
+/// set, and control polarities are derived from three random words.
+pub fn arb_mpmct_circuit(
+    lines: std::ops::Range<usize>,
+    max_gates: usize,
+) -> impl Strategy<Value = Circuit> {
+    (
+        lines,
+        prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..max_gates),
+    )
+        .prop_map(|(lines, raw)| {
+            let mut c = Circuit::new(lines);
+            for (tsel, cmask, pmask) in raw {
+                let target = (tsel % lines as u64) as usize;
+                let controls: Vec<Control> = (0..lines)
+                    .filter(|&l| l != target && (cmask >> l) & 1 == 1)
+                    .map(|l| {
+                        if (pmask >> l) & 1 == 1 {
+                            Control::positive(l)
+                        } else {
+                            Control::negative(l)
+                        }
+                    })
+                    .collect();
+                c.add_gate(Gate::mct(controls, target));
+            }
+            c
+        })
+}
+
+/// A uniformly shuffled permutation of `0..2^r` (Fisher–Yates driven by a
+/// random seed word), in the explicit `Vec<u64>` form the functional
+/// synthesis back-ends consume.
+///
+/// # Panics
+///
+/// Panics if `r > 16` (the explicit table would not fit test budgets).
+pub fn arb_permutation(r: usize) -> impl Strategy<Value = Vec<u64>> {
+    assert!(r <= 16, "explicit permutation strategies capped at r = 16");
+    let size = 1usize << r;
+    any::<u64>().prop_map(move |seed| {
+        // SplitMix64 stream: cheap, deterministic in the drawn seed.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut perm: Vec<u64> = (0..size as u64).collect();
+        for i in (1..size).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        perm
+    })
+}

@@ -4,14 +4,12 @@
 //! the original lines, return every ancilla clean, and hit the
 //! `2(c − 2) + 1` Toffoli (and `7` T per Toffoli) budget exactly.
 
-mod common;
-
-use common::arb_mpmct_circuit;
 use proptest::prelude::*;
 use qda_rev::circuit::Circuit;
 use qda_rev::cost::t_count_mct;
 use qda_rev::decompose::{expand_with_limit, plain_toffoli_t_count};
 use qda_rev::gate::Gate;
+use qda_rev::testkit::arb_mpmct_circuit;
 
 /// A random circuit on 4–7 lines (so MCT gates with up to 6 controls
 /// appear) with up to 12 mixed-polarity gates.

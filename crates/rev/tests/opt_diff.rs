@@ -4,12 +4,10 @@
 //! fixpoint of its own rule set, and keep its per-rule statistics
 //! consistent with the gates it removed.
 
-mod common;
-
-use common::arb_mpmct_circuit;
 use proptest::prelude::*;
 use qda_rev::circuit::Circuit;
 use qda_rev::opt::{equivalence_witness, optimize, optimize_checked, OptOptions};
+use qda_rev::testkit::arb_mpmct_circuit;
 
 /// A random circuit on 3–12 lines with up to 40 mixed-polarity gates.
 fn arb_circuit() -> impl Strategy<Value = Circuit> {

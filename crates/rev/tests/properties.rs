@@ -1,15 +1,13 @@
 //! Property-based tests: reversible circuits are permutations, inverses
 //! compose to identity, and the arithmetic blocks implement arithmetic.
 
-mod common;
-
-use common::arb_mpmct_circuit;
 use proptest::prelude::*;
 use qda_rev::blocks::{cuccaro_add, cuccaro_sub, multiply_add};
 use qda_rev::circuit::Circuit;
 use qda_rev::gate::Control;
 use qda_rev::io::{from_real, to_real};
 use qda_rev::state::BitState;
+use qda_rev::testkit::arb_mpmct_circuit;
 
 /// A random mixed-polarity circuit on exactly `lines` lines.
 fn arb_circuit(lines: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {

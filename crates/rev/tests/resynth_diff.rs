@@ -1,0 +1,114 @@
+//! Differential tests of the windowed resynthesis pass: on random
+//! mixed-polarity MPMCT circuits, the resynthesized output must realize
+//! exactly the input function (checked by scalar *and* bit-parallel batch
+//! simulation independently), never cost more, be a fixpoint of its own
+//! pass, respect the window line budget, and keep its per-window
+//! statistics consistent.
+
+use proptest::prelude::*;
+use qda_rev::circuit::Circuit;
+use qda_rev::resynth::{resynthesize, resynthesize_checked, ResynthOptions, WindowSynthesizer};
+use qda_rev::testkit::arb_mpmct_circuit;
+use qda_revsynth::resynth::default_window_synthesizers;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Scalar replay over the full state space — one [`Circuit::simulate_u64`]
+/// call per basis state, no batch engine involved.
+fn scalar_table(c: &Circuit) -> Vec<u64> {
+    (0..1u64 << c.num_lines())
+        .map(|x| c.simulate_u64(x))
+        .collect()
+}
+
+/// Bit-parallel replay over the full state space — the transposed batch
+/// engine behind [`Circuit::permutation`], deliberately a different code
+/// path than [`scalar_table`].
+fn batch_table(c: &Circuit) -> Vec<u64> {
+    c.permutation()
+}
+
+proptest! {
+    #[test]
+    fn resynth_preserves_the_function_by_scalar_and_batch_sim(
+        c in arb_mpmct_circuit(2..9, 24),
+    ) {
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &default_window_synthesizers())
+            .expect("default back-ends are sound");
+        prop_assert_eq!(out.circuit.num_lines(), c.num_lines());
+        prop_assert_eq!(scalar_table(&out.circuit), scalar_table(&c));
+        prop_assert_eq!(batch_table(&out.circuit), batch_table(&c));
+    }
+
+    #[test]
+    fn resynth_never_costs_more(c in arb_mpmct_circuit(2..9, 24)) {
+        let out = resynthesize(&c, &ResynthOptions::default(), &default_window_synthesizers());
+        let (before, after) = (c.cost(), out.circuit.cost());
+        // The acceptance order is lexicographic on (T-count, gates): a
+        // splice may add a gate when it strictly cuts T-count.
+        prop_assert!((after.t_count, after.gates) <= (before.t_count, before.gates));
+        // Acceptance is strict: anything accepted shows up as a strict
+        // lexicographic improvement overall.
+        if out.stats.windows_accepted > 0 {
+            prop_assert!((after.t_count, after.gates) < (before.t_count, before.gates));
+        }
+    }
+
+    #[test]
+    fn resynth_is_idempotent(c in arb_mpmct_circuit(2..8, 20)) {
+        let options = ResynthOptions::default();
+        let synths = default_window_synthesizers();
+        let first = resynthesize(&c, &options, &synths);
+        let second = resynthesize(&first.circuit, &options, &synths);
+        prop_assert_eq!(&second.circuit, &first.circuit);
+        prop_assert_eq!(second.stats.windows_accepted, 0);
+        prop_assert_eq!(second.stats.gates_removed, 0);
+        prop_assert_eq!(second.stats.passes, 1);
+    }
+
+    #[test]
+    fn windows_never_exceed_the_line_budget(
+        c in arb_mpmct_circuit(2..10, 24),
+        max_lines in 1usize..6,
+    ) {
+        // A probe back-end that never synthesizes anything but records the
+        // largest permutation it was ever offered.
+        struct Probe(AtomicU64);
+        impl WindowSynthesizer for Probe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn synthesize(&self, perm: &[u64]) -> Option<Circuit> {
+                self.0.fetch_max(perm.len() as u64, Ordering::Relaxed);
+                None
+            }
+        }
+        let probe = Probe(AtomicU64::new(0));
+        let options = ResynthOptions { max_lines, ..Default::default() };
+        resynthesize(&c, &options, &[&probe]);
+        prop_assert!(probe.0.load(Ordering::Relaxed) <= 1 << max_lines);
+    }
+
+    #[test]
+    fn stats_account_for_every_window(c in arb_mpmct_circuit(2..9, 24)) {
+        let out = resynthesize(&c, &ResynthOptions::default(), &default_window_synthesizers());
+        let s = out.stats;
+        prop_assert_eq!(s.windows_attempted, s.windows_accepted + s.windows_rejected);
+        prop_assert!(s.passes >= 1);
+        // Sound back-ends never trip the per-splice simulation check.
+        prop_assert_eq!(s.candidates_unsound, 0);
+        // The per-window deltas must sum to the whole-circuit deltas.
+        let (before, after) = (c.cost(), out.circuit.cost());
+        prop_assert_eq!(s.gates_saved(), before.gates as i64 - after.gates as i64);
+        prop_assert_eq!(s.t_saved(), before.t_count as i64 - after.t_count as i64);
+        // T-count never regresses; gates may (lexicographic acceptance
+        // trades gates for T), but only when T strictly improved.
+        prop_assert!(s.t_added <= s.t_removed);
+        if s.gates_added > s.gates_removed {
+            prop_assert!(s.t_added < s.t_removed);
+        }
+        if s.windows_accepted == 0 {
+            prop_assert_eq!(s.gates_removed, 0);
+            prop_assert_eq!(s.t_removed, 0);
+        }
+    }
+}

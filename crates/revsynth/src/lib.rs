@@ -13,6 +13,10 @@
 //!   gate (Bennett cleanup or eager cleanup), lowest T-count, most qubits,
 //!   scales to hundreds of input bits.
 //!
+//! [`resynth`] re-enters the first two (plus an affine recognizer) on the
+//! small window permutations extracted by `qda_rev::resynth`, turning the
+//! synthesis portfolio into a beyond-peephole circuit optimizer.
+//!
 //! # Example
 //!
 //! Transformation-based synthesis of a CNOT, given as a permutation:
@@ -32,9 +36,14 @@
 pub mod embed;
 pub mod esop;
 pub mod hierarchical;
+pub mod resynth;
 pub mod tbs;
 
 pub use embed::{bennett_embedding, minimum_additional_lines, optimum_embedding, Embedding};
 pub use esop::{synthesize_esop, EsopSynthOptions};
 pub use hierarchical::{synthesize_xmg, CleanupStrategy, HierarchicalOptions};
+pub use resynth::{
+    default_window_synthesizers, resynthesize_circuit, resynthesize_circuit_checked,
+    EsopWindowSynth, LinearWindowSynth, TbsWindowSynth,
+};
 pub use tbs::{transformation_based_synthesis, TbsDirection};

@@ -5,23 +5,10 @@ use proptest::prelude::*;
 use qda_logic::esop::{Esop, MultiEsop};
 use qda_logic::tt::{MultiTruthTable, TruthTable};
 use qda_rev::equiv::{verify_computes, VerifyOptions};
+use qda_rev::testkit::arb_permutation;
 use qda_revsynth::embed::{bennett_embedding, optimum_embedding};
 use qda_revsynth::esop::{synthesize_esop, EsopSynthOptions};
 use qda_revsynth::tbs::{transformation_based_synthesis, TbsDirection};
-
-fn arb_perm(r: usize) -> impl Strategy<Value = Vec<u64>> {
-    Just(()).prop_perturb(move |(), mut rng| {
-        use proptest::test_runner::RngAlgorithm;
-        let _ = RngAlgorithm::ChaCha;
-        let size = 1usize << r;
-        let mut perm: Vec<u64> = (0..size as u64).collect();
-        for i in (1..size).rev() {
-            let j = (rng.next_u64() as usize) % (i + 1);
-            perm.swap(i, j);
-        }
-        perm
-    })
-}
 
 fn arb_multi_fn(n: usize, m: usize) -> impl Strategy<Value = MultiTruthTable> {
     prop::collection::vec(
@@ -42,7 +29,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn tbs_realizes_random_permutations(perm in arb_perm(5), bidir in any::<bool>()) {
+    fn tbs_realizes_random_permutations(perm in arb_permutation(5), bidir in any::<bool>()) {
         let dir = if bidir { TbsDirection::Bidirectional } else { TbsDirection::Unidirectional };
         let c = transformation_based_synthesis(&perm, dir);
         for (x, &y) in perm.iter().enumerate() {

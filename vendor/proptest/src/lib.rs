@@ -82,8 +82,16 @@ pub mod test_runner {
     }
 
     impl Default for ProptestConfig {
+        /// As upstream proptest: the `PROPTEST_CASES` environment variable
+        /// overrides the built-in default of 256 cases, so CI can dial the
+        /// effort per job (e.g. a fast fixed-seed release-mode sweep) without
+        /// touching every suite.
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
         }
     }
 }
