@@ -1,0 +1,145 @@
+//! Constant propagation: ancillae start at |0⟩, so some controls are
+//! provably constant, making gates dead (wrong-polarity constant) or
+//! controls droppable (right-polarity constant).
+//!
+//! This analysis only *reports*; the sound rewrites live in
+//! `qda_rev::opt::optimize_checked_assuming`, which the flows run with
+//! the same zero-line assumption and equivalence-check by batch
+//! simulation. A warning here on a flow output therefore means the
+//! optimizer was skipped or beaten — worth surfacing either way.
+
+use qda_rev::Gate;
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::interface::CircuitInterface;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum K {
+    Zero,
+    One,
+    Top,
+}
+
+impl K {
+    fn flipped(self) -> K {
+        match self {
+            K::Zero => K::One,
+            K::One => K::Zero,
+            K::Top => K::Top,
+        }
+    }
+}
+
+/// Runs constant propagation, appending findings to `diags`.
+pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
+    let n = iface.num_lines;
+    let mut vals = vec![K::Top; n];
+    for l in iface.zero_lines() {
+        vals[l] = K::Zero;
+    }
+    let mut releases: Vec<(usize, usize)> = iface.releases.clone();
+    releases.sort_by_key(|&(_, pos)| pos);
+    let mut next_release = 0;
+
+    for (i, gate) in gates.iter().enumerate() {
+        while next_release < releases.len() && releases[next_release].1 <= i {
+            let (line, _) = releases[next_release];
+            next_release += 1;
+            if line < n {
+                vals[line] = K::Zero; // the allocator hands back |0⟩
+            }
+        }
+        let mut dead = false;
+        let mut droppable = Vec::new();
+        for c in gate.controls() {
+            match (vals[c.line()], c.is_positive()) {
+                (K::Zero, true) | (K::One, false) => {
+                    dead = true;
+                    break;
+                }
+                (K::Zero, false) | (K::One, true) => droppable.push(c.line()),
+                (K::Top, _) => {}
+            }
+        }
+        if dead {
+            diags.push(
+                Diagnostic::new(
+                    Code::ConstDeadGate,
+                    Span::gate(i),
+                    format!("gate {i} ({gate}) can never fire: a control is constant with the opposite polarity"),
+                )
+                .with_suggestion("remove the gate (optimize_checked_assuming does this soundly)"),
+            );
+            continue; // the target is unchanged
+        }
+        for line in droppable {
+            diags.push(
+                Diagnostic::new(
+                    Code::ConstControl,
+                    Span::gate_line(i, line),
+                    format!(
+                        "gate {i} ({gate}) controls on line {line}, which is provably constant"
+                    ),
+                )
+                .with_suggestion("drop the control (optimize_checked_assuming does this soundly)"),
+            );
+        }
+        let t = gate.target();
+        vals[t] = if gate.num_controls() == 0 {
+            vals[t].flipped()
+        } else {
+            // The gate may or may not fire; even an always-firing gate
+            // flips by a non-constant amount unless all controls were
+            // droppable constants — be conservative.
+            K::Top
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_rev::{Circuit, Control};
+
+    fn run(c: &Circuit, iface: &CircuitInterface) -> Vec<Code> {
+        let mut diags = Vec::new();
+        check(c.gates(), iface, &mut diags);
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn const_dead_and_const_control_fire_only_with_assumed_zeros() {
+        let mut c = Circuit::new(3);
+        c.toffoli(0, 2, 1); // positive control on zero line 2: dead
+        c.mct(vec![Control::positive(0), Control::negative(2)], 1); // droppable
+        let iface = CircuitInterface::hierarchical(3, vec![0, 1], vec![1], false);
+        assert_eq!(
+            run(&c, &iface),
+            vec![Code::ConstDeadGate, Code::ConstControl]
+        );
+        // With every line an input, nothing is constant.
+        assert_eq!(run(&c, &CircuitInterface::functional(3)), vec![]);
+    }
+
+    #[test]
+    fn not_gates_flip_the_constant_and_writes_invalidate_it() {
+        let mut c = Circuit::new(3);
+        c.not(2); // line 2: const 1
+        c.toffoli(0, 2, 1); // positive on const 1: droppable control
+        c.cnot(0, 2); // line 2 now Top
+        c.toffoli(0, 2, 1); // no finding
+        let iface = CircuitInterface::hierarchical(3, vec![0, 1], vec![1], false);
+        assert_eq!(run(&c, &iface), vec![Code::ConstControl]);
+    }
+
+    #[test]
+    fn releases_restore_the_zero_assumption() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2); // line 2: Top
+        c.toffoli(0, 2, 1); // no finding
+        c.toffoli(0, 2, 1); // after the release below: line 2 zero, dead
+        let iface = CircuitInterface::hierarchical(3, vec![0, 1], vec![1], false)
+            .with_releases(vec![(2, 2)]);
+        assert_eq!(run(&c, &iface), vec![Code::ConstDeadGate]);
+    }
+}

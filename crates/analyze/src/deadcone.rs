@@ -1,0 +1,122 @@
+//! Dead-cone detection: gates whose effect can never reach an
+//! observable line.
+//!
+//! Observability is derived from the interface: primary outputs are
+//! observable, and when the flow requires clean ancillae (or preserved
+//! inputs) every line is part of the contract, so nothing is dead. The
+//! analysis therefore only bites for garbage-tolerant interfaces, where
+//! a cone computing onto a garbage line that no output reads is pure
+//! waste.
+//!
+//! The pass walks backwards with a liveness set: a gate whose target is
+//! dead at that point is dead (XOR-ing into a line nobody will read has
+//! no observable effect), and a live gate makes its control lines live.
+
+use qda_rev::Gate;
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::interface::CircuitInterface;
+
+/// Runs dead-cone detection, appending findings to `diags`.
+pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
+    let n = iface.num_lines;
+    let mut live = vec![false; n];
+    for &l in &iface.output_lines {
+        if l < n {
+            live[l] = true;
+        }
+    }
+    if iface.require_clean {
+        // Clean ancillae and preserved inputs are part of the contract:
+        // every line is observable and no gate can be dead.
+        live.fill(true);
+    }
+    for &(l, _) in &iface.releases {
+        // A released line must be |0⟩ at its release: gates feeding it
+        // are part of that proof obligation, not dead code.
+        if l < n {
+            live[l] = true;
+        }
+    }
+    if live.iter().all(|&b| b) {
+        return;
+    }
+    let mut dead = Vec::new();
+    for (i, gate) in gates.iter().enumerate().rev() {
+        let t = gate.target();
+        if !live[t] {
+            dead.push(i);
+            continue;
+        }
+        for c in gate.controls() {
+            live[c.line()] = true;
+        }
+    }
+    for i in dead.into_iter().rev() {
+        let gate = &gates[i];
+        diags.push(
+            Diagnostic::new(
+                Code::DeadGate,
+                Span::gate_line(i, gate.target()),
+                format!(
+                    "gate {i} ({gate}) only affects line {}, which no output observes",
+                    gate.target()
+                ),
+            )
+            .with_suggestion("remove the gate or add its target to the outputs"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_rev::Circuit;
+
+    fn run(c: &Circuit, iface: &CircuitInterface) -> Vec<usize> {
+        let mut diags = Vec::new();
+        check(c.gates(), iface, &mut diags);
+        assert!(diags.iter().all(|d| d.code == Code::DeadGate));
+        diags.iter().map(|d| d.span.gates.unwrap().0).collect()
+    }
+
+    #[test]
+    fn orphan_cones_are_dead_unless_the_contract_observes_them() {
+        let mut c = Circuit::new(4);
+        c.toffoli(0, 1, 2); // feeds the output via gate 1
+        c.cnot(2, 3); // output line 3
+        c.toffoli(0, 1, 2); // uncompute: nobody reads line 2 afterwards
+        let garbage = CircuitInterface::hierarchical(4, vec![0, 1], vec![3], false);
+        assert_eq!(
+            run(&c, &garbage),
+            vec![2],
+            "the uncompute is dead under garbage rules"
+        );
+        let clean = CircuitInterface::hierarchical(4, vec![0, 1], vec![3], true);
+        assert_eq!(run(&c, &clean), vec![], "under clean rules nothing is dead");
+    }
+
+    #[test]
+    fn whole_dead_cones_are_reported_gate_by_gate() {
+        let mut c = Circuit::new(5);
+        c.toffoli(0, 1, 3); // dead cone: 3 feeds only 4, which nobody reads
+        c.cnot(3, 4);
+        c.cnot(0, 2); // live: output
+        let iface = CircuitInterface::hierarchical(5, vec![0, 1], vec![2], false);
+        assert_eq!(run(&c, &iface), vec![0, 1]);
+    }
+
+    #[test]
+    fn released_lines_are_observable() {
+        let mut c = Circuit::new(3);
+        c.cnot(0, 2);
+        c.cnot(0, 2);
+        let iface =
+            CircuitInterface::hierarchical(3, vec![0], vec![1], false).with_releases(vec![(2, 2)]);
+        assert_eq!(
+            run(&c, &iface),
+            vec![],
+            "gates proving a release clean are live"
+        );
+    }
+}

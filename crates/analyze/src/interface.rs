@@ -1,0 +1,102 @@
+//! The contract a circuit is analyzed against.
+//!
+//! A circuit by itself is just a gate list; what the analyzer checks is
+//! the *interface* the surrounding flow promises: which lines carry
+//! primary inputs (everything else starts at |0⟩), which lines are read
+//! as outputs, whether helper lines must be returned to zero, and where
+//! the line allocator handed lines back mid-circuit.
+
+/// Declared contract of a circuit under analysis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CircuitInterface {
+    /// Total number of lines the circuit claims to use.
+    pub num_lines: usize,
+    /// Lines carrying primary inputs at time zero. Every other line is
+    /// assumed to start at |0⟩.
+    pub input_lines: Vec<usize>,
+    /// Lines read as primary outputs after the last gate.
+    pub output_lines: Vec<usize>,
+    /// When true, every line that is neither an input nor an output (an
+    /// *ancilla*) must be provably |0⟩ again after the last gate.
+    pub require_clean: bool,
+    /// Mid-circuit release events `(line, gate_position)`: before the
+    /// gate at `gate_position` executes, `line` was handed back to the
+    /// allocator and must be |0⟩ (see
+    /// [`qda_rev::LineAllocator::release_at`]).
+    pub releases: Vec<(usize, usize)>,
+}
+
+impl CircuitInterface {
+    /// Interface of a functional-flow circuit: `n` lines that are all
+    /// both inputs and outputs, nothing required clean.
+    pub fn functional(num_lines: usize) -> Self {
+        CircuitInterface {
+            num_lines,
+            input_lines: (0..num_lines).collect(),
+            output_lines: (0..num_lines).collect(),
+            require_clean: false,
+            releases: Vec::new(),
+        }
+    }
+
+    /// Interface of a hierarchical/ESOP-flow circuit: explicit input and
+    /// output registers, ancillae required clean when `require_clean`.
+    pub fn hierarchical(
+        num_lines: usize,
+        input_lines: Vec<usize>,
+        output_lines: Vec<usize>,
+        require_clean: bool,
+    ) -> Self {
+        CircuitInterface {
+            num_lines,
+            input_lines,
+            output_lines,
+            require_clean,
+            releases: Vec::new(),
+        }
+    }
+
+    /// Attaches mid-circuit release events.
+    #[must_use]
+    pub fn with_releases(mut self, releases: Vec<(usize, usize)>) -> Self {
+        self.releases = releases;
+        self
+    }
+
+    /// Lines assumed to start at |0⟩ (everything not an input).
+    pub fn zero_lines(&self) -> Vec<usize> {
+        let mut is_input = vec![false; self.num_lines];
+        for &l in &self.input_lines {
+            if l < self.num_lines {
+                is_input[l] = true;
+            }
+        }
+        (0..self.num_lines).filter(|&l| !is_input[l]).collect()
+    }
+
+    /// Ancilla lines: neither input nor output.
+    pub fn ancilla_lines(&self) -> Vec<usize> {
+        let mut role = vec![false; self.num_lines];
+        for &l in self.input_lines.iter().chain(&self.output_lines) {
+            if l < self.num_lines {
+                role[l] = true;
+            }
+        }
+        (0..self.num_lines).filter(|&l| !role[l]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_helpers_partition_the_lines() {
+        let iface = CircuitInterface::hierarchical(6, vec![0, 1], vec![4], true);
+        assert_eq!(iface.zero_lines(), vec![2, 3, 4, 5]);
+        assert_eq!(iface.ancilla_lines(), vec![2, 3, 5]);
+        let f = CircuitInterface::functional(3);
+        assert!(f.zero_lines().is_empty());
+        assert!(f.ancilla_lines().is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural well-formedness: line bounds, gate invariants, and
+//! interface consistency.
+//!
+//! This is the admission-control front line: if anything here fires at
+//! deny level the dataflow analyses are skipped, because their line
+//! indexing would be meaningless (or would panic) on a malformed input.
+
+use qda_rev::Gate;
+
+use crate::diag::{Code, Diagnostic, Span};
+use crate::interface::CircuitInterface;
+
+/// Checks every gate and the declared interface. Returns `true` when no
+/// deny-level structural problem was found (i.e. the dataflow analyses
+/// may safely run).
+pub fn check(
+    num_lines: usize,
+    gates: &[Gate],
+    iface: &CircuitInterface,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    let before = diags.len();
+    for (i, g) in gates.iter().enumerate() {
+        if g.max_line() >= num_lines {
+            diags.push(
+                Diagnostic::new(
+                    Code::LineOutOfBounds,
+                    Span::gate_line(i, g.max_line()),
+                    format!(
+                        "gate {g} addresses line {} of a {num_lines}-line circuit",
+                        g.max_line()
+                    ),
+                )
+                .with_suggestion("grow the circuit with ensure_lines or fix the gate"),
+            );
+        }
+        if let Err(e) = Gate::validate(g.controls(), g.target()) {
+            diags.push(Diagnostic::new(
+                Code::MalformedGate,
+                Span::gate(i),
+                format!("gate {g} is structurally invalid: {e}"),
+            ));
+        }
+    }
+    check_interface(num_lines, gates.len(), iface, diags);
+    diags[before..]
+        .iter()
+        .all(|d| d.severity < crate::Severity::Deny)
+}
+
+fn check_interface(
+    num_lines: usize,
+    num_gates: usize,
+    iface: &CircuitInterface,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut bad = |message: String, line: Option<usize>| {
+        diags.push(Diagnostic::new(
+            Code::BadInterface,
+            Span { gates: None, line },
+            message,
+        ));
+    };
+    if iface.num_lines != num_lines {
+        bad(
+            format!(
+                "interface declares {} lines but the circuit has {num_lines}",
+                iface.num_lines
+            ),
+            None,
+        );
+    }
+    for (role, lines) in [
+        ("input", &iface.input_lines),
+        ("output", &iface.output_lines),
+    ] {
+        let mut seen = vec![false; num_lines.max(iface.num_lines)];
+        for &l in lines {
+            if l >= iface.num_lines {
+                bad(format!("{role} line {l} out of range"), Some(l));
+            } else if seen[l] {
+                bad(
+                    format!("line {l} appears twice in the {role} register"),
+                    Some(l),
+                );
+            } else {
+                seen[l] = true;
+            }
+        }
+    }
+    let inputs: Vec<usize> = iface.input_lines.clone();
+    for &(l, pos) in &iface.releases {
+        if l >= iface.num_lines {
+            bad(format!("release of out-of-range line {l}"), Some(l));
+        } else if inputs.contains(&l) {
+            bad(
+                format!("primary input line {l} is released mid-circuit"),
+                Some(l),
+            );
+        }
+        if pos > num_gates {
+            bad(
+                format!("release of line {l} at gate {pos}, past the end of the circuit"),
+                Some(l),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qda_rev::Control;
+
+    #[test]
+    fn out_of_bounds_gates_and_bad_interfaces_are_denied() {
+        let gates = vec![Gate::cnot(0, 5)];
+        let iface = CircuitInterface::functional(2);
+        let mut diags = Vec::new();
+        assert!(!check(2, &gates, &iface, &mut diags));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, Code::LineOutOfBounds);
+
+        let mut diags = Vec::new();
+        let iface = CircuitInterface::hierarchical(3, vec![0, 0], vec![9], true)
+            .with_releases(vec![(0, 0), (7, 0), (2, 99)]);
+        assert!(!check(3, &[], &iface, &mut diags));
+        let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.iter().all(|&c| c == Code::BadInterface));
+        assert!(
+            diags.len() >= 4,
+            "dup input, oob output, input release, oob release, oob pos"
+        );
+    }
+
+    #[test]
+    fn clean_circuits_pass() {
+        let gates = vec![
+            Gate::toffoli(0, 1, 2),
+            Gate::mct(vec![Control::negative(0)], 1),
+        ];
+        let iface = CircuitInterface::functional(3);
+        let mut diags = Vec::new();
+        assert!(check(3, &gates, &iface, &mut diags));
+        assert!(diags.is_empty());
+    }
+}

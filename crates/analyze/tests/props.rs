@@ -1,0 +1,60 @@
+//! Property suite: the analyzer must not invent violations.
+//!
+//! Two laws pin this down. First, **no false positives**: an arbitrary
+//! well-formed circuit under the functional contract (no ancillae, no
+//! cleanliness promise) has nothing to deny. Second, **optimization
+//! monotonicity**: peephole + const-prop optimization under the same
+//! |0⟩-start assumption the analyzer uses can only *remove* deny-level
+//! findings, never add lines to complain about — the property the flows
+//! rely on when they lint the post-optimization circuit.
+
+use proptest::prelude::*;
+use qda_analyze::{analyze, CircuitInterface, Code, Severity};
+use qda_rev::opt::{optimize_assuming, OptOptions};
+use qda_rev::testkit::arb_mpmct_circuit;
+
+/// The deny-level findings as comparable (code, line) keys.
+fn deny_keys(report: &qda_analyze::Report) -> Vec<(Code, Option<usize>)> {
+    report.denials().map(|d| (d.code, d.span.line)).collect()
+}
+
+proptest! {
+    #[test]
+    fn functional_circuits_are_never_denied(c in arb_mpmct_circuit(1..6, 24)) {
+        let iface = CircuitInterface::functional(c.num_lines());
+        let report = analyze(&c, &iface);
+        prop_assert!(
+            report.is_clean(Severity::Deny),
+            "false positive on a functional circuit:\n{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn optimization_never_introduces_deny_findings(
+        c in arb_mpmct_circuit(2..6, 16),
+        input_mask in any::<u64>(),
+    ) {
+        // Derive a hierarchical contract from the drawn mask: some lines
+        // are inputs, the rest start at |0⟩ and must end clean. Random
+        // circuits routinely violate that — the law under test is that
+        // the *optimized* circuit never violates it in a place the
+        // original did not.
+        let n = c.num_lines();
+        let inputs: Vec<usize> = (0..n).filter(|l| (input_mask >> l) & 1 == 1).collect();
+        let iface = CircuitInterface::hierarchical(n, inputs, vec![], true);
+        let before = analyze(&c, &iface);
+        let opt = optimize_assuming(&c, &OptOptions::default(), &iface.zero_lines());
+        let after = analyze(&opt.circuit, &iface);
+        let before_keys = deny_keys(&before);
+        for key in deny_keys(&after) {
+            prop_assert!(
+                before_keys.contains(&key),
+                "optimization introduced {:?}\nbefore:\n{}after:\n{}",
+                key,
+                before.render_human(),
+                after.render_human()
+            );
+        }
+    }
+}

@@ -9,10 +9,10 @@ fn bench_baselines(c: &mut Criterion) {
     group.sample_size(10);
     for n in [8usize, 16] {
         group.bench_with_input(BenchmarkId::new("resdiv", n), &n, |b, &n| {
-            b.iter(|| resdiv_reciprocal(n).circuit.cost())
+            b.iter(|| resdiv_reciprocal(n).circuit.cost());
         });
         group.bench_with_input(BenchmarkId::new("qnewton", n), &n, |b, &n| {
-            b.iter(|| qnewton_circuit(n).circuit.cost())
+            b.iter(|| qnewton_circuit(n).circuit.cost());
         });
     }
     group.finish();

@@ -10,10 +10,10 @@ fn bench_functional(c: &mut Criterion) {
     let flow = FunctionalFlow::default();
     for n in [4usize, 5, 6] {
         group.bench_with_input(BenchmarkId::new("intdiv", n), &n, |b, &n| {
-            b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"))
+            b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"));
         });
         group.bench_with_input(BenchmarkId::new("newton", n), &n, |b, &n| {
-            b.iter(|| flow.run(&Design::newton(n)).expect("flow"))
+            b.iter(|| flow.run(&Design::newton(n)).expect("flow"));
         });
     }
     group.finish();

@@ -11,7 +11,7 @@ fn bench_esop(c: &mut Criterion) {
         let flow = EsopFlow::with_factoring(p);
         for n in [5usize, 6] {
             group.bench_with_input(BenchmarkId::new(format!("intdiv_p{p}"), n), &n, |b, &n| {
-                b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"))
+                b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"));
             });
         }
     }

@@ -10,7 +10,7 @@ fn bench_hierarchical(c: &mut Criterion) {
     let flow = HierarchicalFlow::default();
     for n in [8usize, 12, 16] {
         group.bench_with_input(BenchmarkId::new("intdiv", n), &n, |b, &n| {
-            b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"))
+            b.iter(|| flow.run(&Design::intdiv(n)).expect("flow"));
         });
     }
     group.finish();

@@ -61,6 +61,7 @@ fn main() {
             "synthesis",
             "post-opt",
             "resynth",
+            "analyze",
             "verify",
             "total",
         ],

@@ -12,7 +12,10 @@
 //!      "qubits": 7, "t_count": 597, "gates": 42, "runtime_s": 0.012,
 //!      "stages": {"parse_elaborate_s": 0.001, "optimize_s": 0.002,
 //!                 "synthesis_s": 0.008, "post_opt_s": 0.001,
-//!                 "resynth_s": 0.0, "verification_s": 0.001}},
+//!                 "resynth_s": 0.0, "analyze_s": 0.001,
+//!                 "verification_s": 0.001},
+//!      "lint": {"deny": 0, "warning": 2, "note": 0,
+//!               "logical_depth": 30, "t_depth": 12}},
 //!     {"design": "INTDIV", "n": 16, "flow": "functional (embedding + TBS)",
 //!      "error": "instance too large: ..."}
 //!   ]
@@ -54,7 +57,19 @@
 //!  "qubits": 56, "t_count": 322, "gates": 306, "runtime_s": 0.004,
 //!  "gates_in": 380, "t_count_in": 322,
 //!  "rewrites": {"cancel": 30, "merge_polarity": 2, "merge_subset": 1,
-//!               "not_absorb": 4}}
+//!               "not_absorb": 4, "const_dead": 0, "const_drop": 0}}
+//! ```
+//!
+//! Static-analysis benches (`circuit_lint`) reuse the shape with the
+//! analyzed workload in `flow`, the circuit size in `qubits`/`gates`/
+//! `t_count`, and a `lint` object carrying the per-severity diagnostic
+//! counts and ASAP depth metrics:
+//!
+//! ```json
+//! {"design": "INTDIV-HIER", "n": 6, "flow": "hierarchical (XMG, Bennett)",
+//!  "qubits": 56, "t_count": 322, "gates": 290, "runtime_s": 0.002,
+//!  "lint": {"deny": 0, "warning": 0, "note": 0,
+//!           "logical_depth": 118, "t_depth": 44}}
 //! ```
 //!
 //! Windowed-resynthesis benches (`resynth_bench`) follow the same
@@ -121,6 +136,11 @@ pub struct BenchData {
     /// resynthesis benches (`resynth_bench`); those rows carry the
     /// resynthesized cost in `gates`/`t_count`.
     pub resynth: Option<ResynthRowData>,
+    /// Static-analysis summary: diagnostic counts per severity plus the
+    /// ASAP depth metrics. Attached by [`BenchRow::from_outcome`] when
+    /// the flow's analyze stage ran, and by [`BenchRow::from_lint`] for
+    /// `circuit_lint` rows.
+    pub lint: Option<LintRowData>,
 }
 
 /// The before-figures and rewrite counters of an `opt_bench` row.
@@ -132,6 +152,37 @@ pub struct OptRowData {
     pub t_count_in: u64,
     /// Accepted rewrites per rule.
     pub stats: qda_rev::opt::OptStats,
+}
+
+/// The static-analysis summary of a row: per-severity diagnostic counts
+/// and ASAP depth metrics, as reported by `qda_analyze`.
+#[derive(Clone, Copy, Debug)]
+pub struct LintRowData {
+    /// Deny-level diagnostics (always 0 for flow rows — flows abort on
+    /// denials before producing an outcome).
+    pub deny: usize,
+    /// Warning-level diagnostics.
+    pub warning: usize,
+    /// Note-level diagnostics.
+    pub note: usize,
+    /// ASAP logical depth of the analyzed circuit.
+    pub logical_depth: usize,
+    /// ASAP T-depth (layers containing a T-stage gate).
+    pub t_depth: usize,
+}
+
+impl LintRowData {
+    /// Summarizes an analysis report.
+    pub fn from_report(report: &qda_analyze::Report) -> Self {
+        use qda_analyze::Severity;
+        Self {
+            deny: report.count(Severity::Deny),
+            warning: report.count(Severity::Warning),
+            note: report.count(Severity::Note),
+            logical_depth: report.metrics.depth.logical_depth,
+            t_depth: report.metrics.depth.t_depth,
+        }
+    }
 }
 
 /// The before-figures and window accounting of a `resynth_bench` row.
@@ -162,6 +213,7 @@ impl BenchRow {
                 cubes_in: None,
                 opt: None,
                 resynth: None,
+                lint: outcome.analysis.as_ref().map(LintRowData::from_report),
             }),
         }
     }
@@ -188,6 +240,7 @@ impl BenchRow {
                 cubes_in: None,
                 opt: None,
                 resynth: None,
+                lint: None,
             }),
         }
     }
@@ -218,6 +271,7 @@ impl BenchRow {
                 cubes_in: None,
                 opt: None,
                 resynth: None,
+                lint: None,
             }),
         }
     }
@@ -251,6 +305,7 @@ impl BenchRow {
                 cubes_in: Some(cubes_in as u64),
                 opt: None,
                 resynth: None,
+                lint: None,
             }),
         }
     }
@@ -284,6 +339,7 @@ impl BenchRow {
                     stats,
                 }),
                 resynth: None,
+                lint: None,
             }),
         }
     }
@@ -320,6 +376,37 @@ impl BenchRow {
                     t_count_in: before.t_count,
                     stats,
                 }),
+                lint: None,
+            }),
+        }
+    }
+
+    /// A row for a static-analysis measurement (`circuit_lint`): the
+    /// analyzer inspected the circuit summarized by `report.metrics` in
+    /// `runtime_s` seconds and produced the diagnostics counted in the
+    /// `lint` object.
+    pub fn from_lint(
+        design: &str,
+        n: usize,
+        flow: &str,
+        report: &qda_analyze::Report,
+        runtime_s: f64,
+    ) -> Self {
+        Self {
+            design: design.to_string(),
+            n,
+            flow: flow.to_string(),
+            data: Ok(BenchData {
+                qubits: report.metrics.num_lines,
+                t_count: report.metrics.t_count,
+                gates: report.metrics.num_gates,
+                runtime_s,
+                stages: None,
+                states_per_sec: None,
+                cubes_in: None,
+                opt: None,
+                resynth: None,
+                lint: Some(LintRowData::from_report(report)),
             }),
         }
     }
@@ -356,6 +443,7 @@ impl BenchRow {
                             ("synthesis_s", secs(stages.synthesis)),
                             ("post_opt_s", secs(stages.post_opt)),
                             ("resynth_s", secs(stages.resynth)),
+                            ("analyze_s", secs(stages.analyze)),
                             ("verification_s", secs(stages.verification)),
                         ]),
                     ));
@@ -376,6 +464,8 @@ impl BenchRow {
                             ("merge_polarity", Json::Int(opt.stats.polarity_merges)),
                             ("merge_subset", Json::Int(opt.stats.subset_merges)),
                             ("not_absorb", Json::Int(opt.stats.not_absorptions)),
+                            ("const_dead", Json::Int(opt.stats.const_dead)),
+                            ("const_drop", Json::Int(opt.stats.const_drops)),
                         ]),
                     ));
                 }
@@ -390,6 +480,18 @@ impl BenchRow {
                             ("rejected", Json::Int(resynth.stats.windows_rejected)),
                             ("unsound", Json::Int(resynth.stats.candidates_unsound)),
                             ("passes", Json::Int(resynth.stats.passes)),
+                        ]),
+                    ));
+                }
+                if let Some(lint) = &d.lint {
+                    pairs.push((
+                        "lint".to_string(),
+                        Json::object([
+                            ("deny", Json::Int(lint.deny as u64)),
+                            ("warning", Json::Int(lint.warning as u64)),
+                            ("note", Json::Int(lint.note as u64)),
+                            ("logical_depth", Json::Int(lint.logical_depth as u64)),
+                            ("t_depth", Json::Int(lint.t_depth as u64)),
                         ]),
                     ));
                 }
@@ -574,11 +676,37 @@ mod tests {
             "synthesis_s",
             "post_opt_s",
             "resynth_s",
+            "analyze_s",
             "verification_s",
             "t_count",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // The flow ran with analysis on, so the lint summary rides along
+        // and is deny-clean.
+        assert!(json.contains(r#""lint":"#), "missing lint in {json}");
+        assert!(json.contains(r#""deny": 0"#), "missing deny in {json}");
+        assert!(json.contains(r#""t_depth":"#), "missing t_depth in {json}");
+    }
+
+    #[test]
+    fn lint_rows_carry_the_diagnostic_summary() {
+        use qda_analyze::CircuitInterface;
+        let mut c = qda_rev::circuit::Circuit::new(3);
+        c.toffoli(0, 1, 2);
+        let iface = CircuitInterface::functional(3);
+        let report = qda_analyze::analyze(&c, &iface);
+        let mut r = BenchResults::new("analyze");
+        r.push(BenchRow::from_lint("TOFFOLI", 3, "manual", &report, 0.001));
+        let json = r.to_json();
+        assert!(json.contains(r#""bench": "analyze""#));
+        assert!(json.contains(r#""qubits": 3"#));
+        assert!(json.contains(r#""gates": 1"#));
+        assert!(json.contains(r#""t_count": 7"#));
+        assert!(json.contains(r#""lint":"#));
+        assert!(json.contains(r#""logical_depth": 1"#));
+        assert!(json.contains(r#""t_depth": 1"#));
+        assert!(!json.contains("stages"));
     }
 
     #[test]

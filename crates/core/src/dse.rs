@@ -7,7 +7,7 @@ use crate::design::Design;
 use crate::flow::{Flow, FlowError, FlowOutcome, FrontendCache};
 use qda_rev::circuit::Circuit;
 use qda_rev::cost::CircuitCost;
-use qda_rev::opt::{optimize_checked, OptOptions, OptStats};
+use qda_rev::opt::{optimize_checked_assuming, OptOptions, OptStats};
 use qda_rev::resynth::{ResynthOptions, ResynthStats};
 use qda_revsynth::resynth::resynthesize_circuit_checked;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -28,7 +28,7 @@ pub enum Objective {
 /// One worker thread per available CPU (at least one) — the default for
 /// [`DesignSpaceExplorer::explore_matrix`] with `workers = 0`.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Runs a set of flows on a design and ranks the outcomes.
@@ -335,8 +335,9 @@ fn portfolio_row(
 }
 
 /// Applies the requested post-synthesis passes to a raw outcome. Both
-/// passes carry their own equivalence gates, so the refined circuit is
-/// machine-checked against the raw one.
+/// passes carry their own equivalence gates, and the refined circuit is
+/// statically linted, so every portfolio row is machine-checked against
+/// the raw one.
 fn refine(
     raw: &FlowOutcome,
     post_opt: bool,
@@ -346,8 +347,20 @@ fn refine(
     let mut circuit = raw.circuit.clone();
     let mut opt_stats = None;
     let mut resynth_stats = None;
+    // Same contract as the in-flow back half: non-input lines start at
+    // |0⟩ (which unlocks the constant-propagation rules and restricts
+    // the equivalence check to the states the flow is verified on).
+    // `require_clean` is false because the flow's cleanliness promise is
+    // not recorded on the raw outcome — an under-approximation, never a
+    // false denial.
+    let interface = qda_analyze::CircuitInterface::hierarchical(
+        circuit.num_lines(),
+        raw.input_lines.clone(),
+        raw.output_lines.clone(),
+        false,
+    );
     if post_opt {
-        match optimize_checked(&circuit, &OptOptions::default()) {
+        match optimize_checked_assuming(&circuit, &OptOptions::default(), &interface.zero_lines()) {
             Ok(optimized) => {
                 circuit = optimized.circuit;
                 opt_stats = Some(optimized.stats);
@@ -373,6 +386,13 @@ fn refine(
                 ))
             }
         }
+    }
+    let report = qda_analyze::analyze(&circuit, &interface);
+    if !report.is_clean(qda_analyze::Severity::Deny) {
+        return Err((
+            configuration_name(&raw.flow_name, post_opt, post_resynth),
+            FlowError::AnalysisViolation { report },
+        ));
     }
     let cost = circuit.cost();
     Ok(PortfolioOutcome {

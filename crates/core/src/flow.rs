@@ -26,9 +26,20 @@
 //! costing and verification. Each pass is equivalence-checked against
 //! its input circuit by batch simulation, so a bad rewrite fails the
 //! flow ([`FlowError::PostOptUnsound`] / [`FlowError::ResynthUnsound`])
-//! instead of skewing the tables.
+//! instead of skewing the tables. The optimizer runs with the flow's
+//! zero-line assumption (ancillae start at |0⟩), unlocking the
+//! constant-propagation rules, and its equivalence check is restricted
+//! to exactly that state space.
+//!
+//! Finally the `analyze` stage (the `analyze` flag, default on) runs the
+//! static linter of `qda-analyze` on every opt/resynth output — and, for
+//! the hierarchical flow, the ancilla release discipline on the raw
+//! synthesis output, where the recorded release positions are valid.
+//! Warnings surface in [`FlowOutcome::analysis`]; deny-level findings
+//! abort the flow with [`FlowError::AnalysisViolation`].
 
 use crate::design::Design;
+use qda_analyze::{CircuitInterface, Code, Report, Severity};
 use qda_classical::collapse::{collapse_to_bdds, CollapseError};
 use qda_classical::esop_extract::extract_multi_esop;
 use qda_classical::exorcism::{minimize_esop, ExorcismOptions};
@@ -38,7 +49,7 @@ use qda_logic::aig::Aig;
 use qda_rev::circuit::Circuit;
 use qda_rev::cost::CircuitCost;
 use qda_rev::equiv::{verify_computes, VerifyOptions, VerifyOutcome};
-use qda_rev::opt::{optimize_checked, OptMismatch, OptOptions, OptStats};
+use qda_rev::opt::{optimize_checked_assuming, OptMismatch, OptOptions, OptStats};
 use qda_rev::resynth::{ResynthOptions, ResynthStats};
 use qda_revsynth::embed::optimum_embedding;
 use qda_revsynth::esop::{synthesize_esop, EsopSynthOptions};
@@ -82,6 +93,13 @@ pub enum FlowError {
         /// The witness state and the two diverging end states.
         witness: OptMismatch,
     },
+    /// The static analyzer proved a contract violation (dirty ancilla,
+    /// use-after-release, malformed structure, ...) in the circuit the
+    /// flow was about to report.
+    AnalysisViolation {
+        /// The full analysis report; at least one deny-level diagnostic.
+        report: Report,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -98,6 +116,13 @@ impl fmt::Display for FlowError {
             }
             FlowError::ResynthUnsound { witness } => {
                 write!(f, "windowed resynthesis unsound: {witness}")
+            }
+            FlowError::AnalysisViolation { report } => {
+                let denials: Vec<String> = report
+                    .denials()
+                    .map(std::string::ToString::to_string)
+                    .collect();
+                write!(f, "static analysis violation: {}", denials.join("; "))
             }
         }
     }
@@ -140,6 +165,10 @@ pub struct StageTimings {
     /// per-splice and whole-circuit soundness checks (zero when the flow
     /// ran with `post_resynth` off).
     pub resynth: Duration,
+    /// Static analysis of the final circuit (plus the release-discipline
+    /// check of the raw synthesis output, when the back end recorded
+    /// release events). Zero when the flow ran with `analyze` off.
+    pub analyze: Duration,
     /// Equivalence check of the synthesized circuit (bit-parallel batch
     /// simulation against the golden AIG).
     pub verification: Duration,
@@ -153,6 +182,7 @@ impl StageTimings {
             + self.synthesis
             + self.post_opt
             + self.resynth
+            + self.analyze
             + self.verification
     }
 }
@@ -179,6 +209,10 @@ pub struct FlowOutcome {
     /// Per-window accounting of the resynthesis pass (`None` when the
     /// flow ran with `post_resynth` off).
     pub resynth_stats: Option<ResynthStats>,
+    /// Static analysis report of the final circuit (`None` when the flow
+    /// ran with `analyze` off). Always deny-clean: deny-level findings
+    /// abort the flow with [`FlowError::AnalysisViolation`] instead.
+    pub analysis: Option<Report>,
     /// Wall-clock flow runtime (sum of [`FlowOutcome::stages`]).
     pub runtime: Duration,
     /// Per-stage runtime breakdown.
@@ -358,8 +392,8 @@ pub trait Flow: Send + Sync {
     }
 }
 
-/// Optimizes (when requested) and verifies a circuit against the design
-/// AIG, then assembles the outcome.
+/// Optimizes (when requested), statically analyzes, and verifies a
+/// circuit against the design AIG, then assembles the outcome.
 #[allow(clippy::too_many_arguments)]
 fn finish(
     design: &Design,
@@ -372,15 +406,43 @@ fn finish(
     check_clean: bool,
     post_opt: bool,
     post_resynth: bool,
+    run_analysis: bool,
+    releases: &[(usize, usize)],
 ) -> Result<FlowOutcome, FlowError> {
     let synthesis = synthesis_start.elapsed();
-    // Post-synthesis peephole optimization. Every run is equivalence-
-    // checked against the raw synthesis output by batch simulation over
-    // the full line space (ancillae included), so an optimizer bug
-    // aborts the flow with a witness instead of corrupting the report.
+    // The contract every back-half stage works against: non-input lines
+    // start at |0⟩; ancillae must end clean when the flow says so.
+    let interface = CircuitInterface::hierarchical(
+        circuit.num_lines(),
+        input_lines.clone(),
+        output_lines.clone(),
+        check_clean,
+    );
+    let mut analyze_time = Duration::ZERO;
+    // Ancilla release discipline is checked on the *raw* synthesis
+    // output: the recorded release positions index its gate list, which
+    // opt/resynth would invalidate.
+    let mut release_diags = Vec::new();
+    if run_analysis && !releases.is_empty() {
+        let start = Instant::now();
+        let raw_iface = interface.clone().with_releases(releases.to_vec());
+        let raw_report = qda_analyze::analyze(&circuit, &raw_iface);
+        release_diags = raw_report
+            .diagnostics
+            .into_iter()
+            .filter(|d| matches!(d.code, Code::UseAfterRelease | Code::ReleaseOfLive))
+            .collect();
+        analyze_time += start.elapsed();
+    }
+    // Post-synthesis peephole optimization, run under the |0⟩-start
+    // assumption so the constant-propagation rules fire. Every run is
+    // equivalence-checked against the raw synthesis output by batch
+    // simulation over exactly the assumed state space, so an optimizer
+    // bug aborts the flow with a witness instead of corrupting the
+    // report.
     let (circuit, opt_stats, post_opt_time) = if post_opt {
         let start = Instant::now();
-        match optimize_checked(&circuit, &OptOptions::default()) {
+        match optimize_checked_assuming(&circuit, &OptOptions::default(), &interface.zero_lines()) {
             Ok(optimized) => (optimized.circuit, Some(optimized.stats), start.elapsed()),
             Err(witness) => return Err(FlowError::PostOptUnsound { witness }),
         }
@@ -400,6 +462,22 @@ fn finish(
         }
     } else {
         (circuit, None, Duration::ZERO)
+    };
+    // Static analysis of the final circuit (whatever combination of
+    // opt/resynth produced it). Deny-level findings are proven contract
+    // violations and abort the flow; warnings and notes ride along in
+    // the outcome.
+    let analysis = if run_analysis {
+        let start = Instant::now();
+        let mut report = qda_analyze::analyze(&circuit, &interface);
+        report.diagnostics.splice(0..0, release_diags);
+        analyze_time += start.elapsed();
+        if !report.is_clean(Severity::Deny) {
+            return Err(FlowError::AnalysisViolation { report });
+        }
+        Some(report)
+    } else {
+        None
     };
     let aig = &frontend.aig;
     // The bit-parallel batch engine makes a much larger verification
@@ -439,6 +517,7 @@ fn finish(
         synthesis,
         post_opt: post_opt_time,
         resynth: resynth_time,
+        analyze: analyze_time,
         verification: verification_start.elapsed(),
     };
     let cost = circuit.cost();
@@ -451,6 +530,7 @@ fn finish(
         cost,
         opt_stats,
         resynth_stats,
+        analysis,
         runtime: stages.total(),
         stages,
         verification,
@@ -478,6 +558,8 @@ pub struct FunctionalFlow {
     /// Run the windowed resynthesis pass (default off — TBS output is
     /// already the product of whole-permutation synthesis).
     pub post_resynth: bool,
+    /// Run the static analysis stage on the final circuit (default on).
+    pub analyze: bool,
 }
 
 impl Default for FunctionalFlow {
@@ -488,6 +570,7 @@ impl Default for FunctionalFlow {
             max_lines: 25,
             post_opt: true,
             post_resynth: false,
+            analyze: true,
         }
     }
 }
@@ -542,6 +625,8 @@ impl Flow for FunctionalFlow {
             false,
             self.post_opt,
             self.post_resynth,
+            self.analyze,
+            &[],
         )
     }
 }
@@ -581,6 +666,8 @@ pub struct EsopFlow {
     /// Run the windowed resynthesis pass (default off — exorcism already
     /// minimized the cube list the gates came from).
     pub post_resynth: bool,
+    /// Run the static analysis stage on the final circuit (default on).
+    pub analyze: bool,
 }
 
 impl EsopFlow {
@@ -596,6 +683,7 @@ impl EsopFlow {
             bdd_node_limit: 2_000_000,
             post_opt: true,
             post_resynth: false,
+            analyze: true,
         }
     }
 }
@@ -636,6 +724,8 @@ impl Flow for EsopFlow {
             true,
             self.post_opt,
             self.post_resynth,
+            self.analyze,
+            &[],
         )
     }
 
@@ -666,6 +756,9 @@ pub struct HierarchicalFlow {
     /// redundancy the pass targets, and the peephole catalogue cannot
     /// reach it).
     pub post_resynth: bool,
+    /// Run the static analysis stage — including the release-discipline
+    /// check on the raw synthesis output (default on).
+    pub analyze: bool,
 }
 
 impl HierarchicalFlow {
@@ -679,6 +772,7 @@ impl HierarchicalFlow {
             },
             post_opt: true,
             post_resynth: true,
+            analyze: true,
         }
     }
 }
@@ -718,6 +812,8 @@ impl Flow for HierarchicalFlow {
             check_clean,
             self.post_opt,
             self.post_resynth,
+            self.analyze,
+            &synthesis.releases,
         )
     }
 
@@ -965,6 +1061,43 @@ mod tests {
             assert_eq!(outcome.opt_stats, None, "{}", flow.name());
             assert_eq!(outcome.resynth_stats, None, "{}", flow.name());
         }
+    }
+
+    #[test]
+    fn analysis_runs_by_default_and_flow_outputs_are_deny_clean() {
+        let flows: Vec<Box<dyn Flow>> = vec![
+            Box::new(FunctionalFlow::default()),
+            Box::new(EsopFlow::with_factoring(0)),
+            Box::new(HierarchicalFlow::default()),
+            Box::new(HierarchicalFlow::with_strategy(CleanupStrategy::PerOutput)),
+            Box::new(HierarchicalFlow::with_strategy(
+                CleanupStrategy::KeepGarbage,
+            )),
+        ];
+        for flow in flows {
+            let outcome = flow.run(&Design::intdiv(4)).unwrap();
+            let report = outcome.analysis.as_ref().expect("analyze defaults to on");
+            assert!(
+                report.is_clean(Severity::Deny),
+                "{}: {}",
+                outcome.flow_name,
+                report.render_human()
+            );
+            assert!(report.metrics.depth.t_depth > 0, "{}", outcome.flow_name);
+            assert!(report.metrics.t_count >= outcome.cost.t_count);
+        }
+    }
+
+    #[test]
+    fn analyze_off_skips_the_stage() {
+        let outcome = HierarchicalFlow {
+            analyze: false,
+            ..Default::default()
+        }
+        .run(&Design::intdiv(4))
+        .unwrap();
+        assert!(outcome.analysis.is_none());
+        assert_eq!(outcome.stages.analyze, Duration::ZERO);
     }
 
     #[test]

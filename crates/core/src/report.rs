@@ -2,6 +2,7 @@
 
 use crate::dse::{configuration_name, PortfolioOutcome};
 use crate::flow::FlowOutcome;
+use qda_analyze::Severity;
 use std::fmt;
 
 /// A plain-text table with the look of the paper's result tables.
@@ -60,8 +61,8 @@ impl Table {
 
     /// Renders the per-stage timing breakdown of a [`FlowOutcome`]:
     /// flow name, then seconds for parse+elaborate, optimize, synthesis,
-    /// post-synthesis circuit optimization, windowed resynthesis,
-    /// verification, and the total.
+    /// post-synthesis circuit optimization, windowed resynthesis, static
+    /// analysis, verification, and the total.
     pub fn stage_row(outcome: &FlowOutcome) -> Vec<String> {
         let s = |d: std::time::Duration| format!("{:.3}", d.as_secs_f64());
         vec![
@@ -71,6 +72,7 @@ impl Table {
             s(outcome.stages.synthesis),
             s(outcome.stages.post_opt),
             s(outcome.stages.resynth),
+            s(outcome.stages.analyze),
             s(outcome.stages.verification),
             s(outcome.stages.total()),
         ]
@@ -78,22 +80,35 @@ impl Table {
 }
 
 /// A timing-free exploration report: one line per outcome, in exploration
-/// order, listing design, flow, qubits, T-count and gate count.
+/// order, listing design, flow, qubits, T-count, gate count, and (when
+/// the analyze stage ran) the static-lint warning/note counts and
+/// T-depth.
 ///
 /// Deliberately excludes wall-clock figures so a parallel
 /// [`crate::dse::DesignSpaceExplorer::explore_matrix`] run renders
 /// **byte-identical** to a serial run of the same matrix — the
-/// determinism contract the regression tests pin down.
+/// determinism contract the regression tests pin down (the static
+/// analyzer is deterministic, so its cells keep that contract).
 pub fn deterministic_report(outcomes: &[FlowOutcome]) -> String {
     let mut out = String::new();
     for o in outcomes {
+        let lint = match &o.analysis {
+            Some(r) => format!(
+                " | lint {}w/{}n | T-depth {}",
+                r.count(Severity::Warning),
+                r.count(Severity::Note),
+                r.metrics.depth.t_depth,
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "{} | {} | qubits {} | T {} | gates {}\n",
+            "{} | {} | qubits {} | T {} | gates {}{}\n",
             o.design.name(),
             o.flow_name,
             o.cost.qubits,
             group_digits(o.cost.t_count),
             o.cost.gates,
+            lint,
         ));
     }
     out

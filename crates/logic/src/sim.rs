@@ -46,7 +46,10 @@ pub enum EquivalenceOutcome {
     CounterExample(u64),
     /// No mismatch found within the simulation budget (inconclusive but
     /// high-confidence for randomized checks).
-    ProbablyEquivalent { patterns_tested: u64 },
+    ProbablyEquivalent {
+        /// Number of random input patterns that found no mismatch.
+        patterns_tested: u64,
+    },
 }
 
 impl EquivalenceOutcome {

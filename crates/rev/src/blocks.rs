@@ -12,6 +12,61 @@
 use crate::circuit::Circuit;
 use crate::gate::{Control, Gate};
 
+/// Validates the line arguments of a block builder **before any gate is
+/// appended**: every line must fit the circuit and every named role must
+/// be disjoint from every other (a register sharing a line with an
+/// ancilla or control would silently compute the wrong function). Until
+/// this check existed, an out-of-range index could slip through whenever
+/// the builder happened to append no gate on it (e.g. a zero bit of
+/// [`load_constant`]), only failing much later in simulation.
+///
+/// # Panics
+///
+/// Panics with the offending role name on an out-of-range or shared line.
+fn validate_roles(circuit: &Circuit, roles: &[(&str, &[usize])]) {
+    let n = circuit.num_lines();
+    let mut owner: Vec<Option<&str>> = vec![None; n];
+    for (name, lines) in roles {
+        for &line in *lines {
+            assert!(
+                line < n,
+                "block register `{name}` line {line} out of range for a {n}-line circuit"
+            );
+            match owner[line] {
+                Some(prev) => panic!(
+                    "block registers `{prev}` and `{name}` share line {line}; \
+                     roles must be disjoint"
+                ),
+                None => owner[line] = Some(name),
+            }
+        }
+    }
+}
+
+/// [`validate_roles`] plus the optional carry/borrow and control roles
+/// shared by the adder family.
+fn validate_adder_roles(
+    circuit: &Circuit,
+    a: &[usize],
+    b: &[usize],
+    ancilla: usize,
+    carry_out: Option<usize>,
+    control: Option<Control>,
+) {
+    let carry: Vec<usize> = carry_out.into_iter().collect();
+    let ctl: Vec<usize> = control.into_iter().map(Control::line).collect();
+    validate_roles(
+        circuit,
+        &[
+            ("a", a),
+            ("b", b),
+            ("ancilla", &[ancilla]),
+            ("carry_out", &carry),
+            ("control", &ctl),
+        ],
+    );
+}
+
 /// Appends `b ← b + a (mod 2^n)` using the Cuccaro/CDKM ripple-carry adder.
 ///
 /// * `a`, `b` — equal-width registers; `a` is preserved.
@@ -51,6 +106,7 @@ pub fn cuccaro_add(
 ) {
     assert_eq!(a.len(), b.len(), "register width mismatch");
     assert!(!a.is_empty(), "empty registers");
+    validate_adder_roles(circuit, a, b, ancilla, carry_out, control);
     let n = a.len();
     // Gate helpers: `plain` gates self-cancel when the control is off,
     // `ctl` gates write into the result and carry the extra control.
@@ -96,6 +152,9 @@ pub fn cuccaro_sub(
     borrow_out: Option<usize>,
     control: Option<Control>,
 ) {
+    // Validate before the complementing NOTs: a bad register must not
+    // leave half-applied flips behind.
+    validate_adder_roles(circuit, a, b, ancilla, borrow_out, control);
     for &line in b {
         circuit.not(line);
     }
@@ -143,6 +202,10 @@ pub fn multiply_add(
         a.len(),
         b.len()
     );
+    validate_roles(
+        circuit,
+        &[("a", a), ("b", b), ("out", out), ("ancilla", &[ancilla])],
+    );
     let na = a.len();
     for (i, &bi) in b.iter().enumerate() {
         let window: Vec<usize> = out[i..i + na].to_vec();
@@ -165,6 +228,7 @@ pub fn multiply_add(
 /// Panics if the widths differ.
 pub fn copy_register(circuit: &mut Circuit, src: &[usize], dst: &[usize]) {
     assert_eq!(src.len(), dst.len(), "register width mismatch");
+    validate_roles(circuit, &[("src", src), ("dst", dst)]);
     for (&s, &d) in src.iter().zip(dst) {
         circuit.cnot(s, d);
     }
@@ -173,6 +237,7 @@ pub fn copy_register(circuit: &mut Circuit, src: &[usize], dst: &[usize]) {
 /// Appends X gates writing the classical constant `value` into a clean
 /// register.
 pub fn load_constant(circuit: &mut Circuit, dst: &[usize], value: u64) {
+    validate_roles(circuit, &[("dst", dst)]);
     for (i, &d) in dst.iter().enumerate() {
         if (value >> i) & 1 == 1 {
             circuit.not(d);
@@ -183,6 +248,7 @@ pub fn load_constant(circuit: &mut Circuit, dst: &[usize], value: u64) {
 /// Appends X gates writing an arbitrary-width constant (bits LSB first)
 /// into a clean register. Bits beyond `dst.len()` are ignored.
 pub fn load_constant_bits(circuit: &mut Circuit, dst: &[usize], bits: &[bool]) {
+    validate_roles(circuit, &[("dst", dst)]);
     for (i, &d) in dst.iter().enumerate() {
         if *bits.get(i).unwrap_or(&false) {
             circuit.not(d);
@@ -208,6 +274,16 @@ pub fn add_constant(
     control: Option<Control>,
 ) {
     assert_eq!(scratch.len(), b.len(), "register width mismatch");
+    let ctl: Vec<usize> = control.into_iter().map(Control::line).collect();
+    validate_roles(
+        circuit,
+        &[
+            ("b", b),
+            ("scratch", scratch),
+            ("ancilla", &[ancilla]),
+            ("control", &ctl),
+        ],
+    );
     load_constant(circuit, scratch, value);
     cuccaro_add(circuit, scratch, b, ancilla, None, control);
     load_constant(circuit, scratch, value);
@@ -218,6 +294,7 @@ pub fn add_constant(
 /// constant shifts of the Newton designs, where a *logical* shift is a pure
 /// relabeling and only a rotation needs gates).
 pub fn rotate_left(circuit: &mut Circuit, reg: &[usize], k: usize) {
+    validate_roles(circuit, &[("reg", reg)]);
     let n = reg.len();
     if n == 0 {
         return;
@@ -433,6 +510,60 @@ mod tests {
             let expected = ((v << 2) | (v >> 3)) & 0b11111;
             assert_eq!(s.read_register(&reg), expected, "rot {v:#07b}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn load_constant_rejects_out_of_range_lines_even_for_zero_bits() {
+        // Bit 9 of the value is 0, so no gate would ever touch line 9 —
+        // the old code accepted this silently.
+        let mut c = Circuit::new(4);
+        load_constant(&mut c, &[0, 1, 9], 0b011);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rotate_left_rejects_out_of_range_lines_even_for_zero_rotation() {
+        let mut c = Circuit::new(3);
+        rotate_left(&mut c, &[0, 1, 7], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "share line")]
+    fn adder_rejects_overlapping_registers_before_appending() {
+        let mut c = Circuit::new(10);
+        cuccaro_add(&mut c, &[0, 1, 2], &[2, 3, 4], 8, None, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ancilla")]
+    fn adder_rejects_ancilla_inside_a_register() {
+        let mut c = Circuit::new(10);
+        cuccaro_add(&mut c, &[0, 1, 2], &[3, 4, 5], 4, None, None);
+    }
+
+    #[test]
+    fn subtractor_validation_fires_before_any_gate_lands() {
+        let mut c = Circuit::new(8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cuccaro_sub(&mut c, &[0, 1], &[1, 2], 6, None, None);
+        }));
+        assert!(result.is_err(), "overlap must be rejected");
+        assert_eq!(c.num_gates(), 0, "no half-applied complementing NOTs");
+    }
+
+    #[test]
+    #[should_panic(expected = "share line")]
+    fn copy_register_rejects_aliased_lines() {
+        let mut c = Circuit::new(4);
+        copy_register(&mut c, &[0, 1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "control")]
+    fn add_constant_rejects_control_inside_target_register() {
+        let mut c = Circuit::new(9);
+        add_constant(&mut c, 3, &[0, 1], &[2, 3], 4, Some(Control::positive(1)));
     }
 
     #[test]

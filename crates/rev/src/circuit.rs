@@ -242,6 +242,11 @@ pub struct LineAllocator {
     /// free pool. Backs the O(1) double-release check in
     /// [`LineAllocator::release`].
     in_free: Vec<bool>,
+    /// `(line, gate position)` pairs recorded by
+    /// [`LineAllocator::release_at`], in release order. The static
+    /// lifecycle analysis (`qda-analyze`) replays these to prove each
+    /// released line was uncomputed and never touched again.
+    events: Vec<(usize, usize)>,
 }
 
 impl LineAllocator {
@@ -253,6 +258,7 @@ impl LineAllocator {
             high_water: reserved,
             free: Vec::new(),
             in_free: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -304,6 +310,26 @@ impl LineAllocator {
         for l in lines {
             self.release(l);
         }
+    }
+
+    /// [`LineAllocator::release`], additionally recording that the release
+    /// happened after `gate_position` gates of the circuit under
+    /// construction. The recorded schedule ([`LineAllocator::release_events`])
+    /// lets the static lifecycle analysis check release discipline —
+    /// use-after-release and release-of-live — against the built circuit.
+    ///
+    /// # Panics
+    ///
+    /// As [`LineAllocator::release`].
+    pub fn release_at(&mut self, line: usize, gate_position: usize) {
+        self.release(line);
+        self.events.push((line, gate_position));
+    }
+
+    /// The `(line, gate position)` release schedule recorded by
+    /// [`LineAllocator::release_at`], in release order.
+    pub fn release_events(&self) -> &[(usize, usize)] {
+        &self.events
     }
 
     /// Highest number of simultaneously live lines seen so far.
@@ -368,6 +394,21 @@ mod tests {
         let mut s = BitState::from_u64(8, 0b0000_0001);
         c.apply(&mut s);
         assert_eq!(s.to_u64(), c.simulate_u64(0b0000_0001));
+    }
+
+    #[test]
+    fn allocator_records_release_events() {
+        let mut a = LineAllocator::new(1);
+        let x = a.alloc();
+        let y = a.alloc();
+        a.release_at(x, 7);
+        a.release_at(y, 9);
+        assert_eq!(a.release_events(), &[(x, 7), (y, 9)]);
+        assert_eq!(a.alloc(), y, "release_at really frees the line");
+        assert_eq!(
+            LineAllocator::new(3).release_events(),
+            &[] as &[(usize, usize)]
+        );
     }
 
     #[test]

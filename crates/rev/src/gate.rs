@@ -41,6 +41,42 @@ impl Control {
     }
 }
 
+/// Why a control/target combination cannot form a well-formed MPMCT gate.
+///
+/// Produced by [`Gate::validate`] and [`Gate::try_mct`]; the panicking
+/// constructors ([`Gate::mct`] and friends) render these as their panic
+/// messages, so every construction path rejects malformed gates with the
+/// same wording.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GateError {
+    /// Two controls sit on the same line with opposite polarity — the
+    /// gate could never fire.
+    ContradictoryControls {
+        /// The doubly-controlled line.
+        line: usize,
+    },
+    /// The target line also appears as a control.
+    ControlOnTarget {
+        /// The target line.
+        target: usize,
+    },
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::ContradictoryControls { line } => {
+                write!(f, "contradictory controls on line {line}")
+            }
+            GateError::ControlOnTarget { target } => {
+                write!(f, "target {target} cannot be controlled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
 /// A mixed-polarity multiple-controlled Toffoli (MPMCT) gate.
 ///
 /// The gate inverts `target` iff every positive control reads `1` and every
@@ -96,24 +132,46 @@ impl Gate {
     /// Panics if the target appears among the controls, or if two controls
     /// on the same line have opposite polarity (the gate would never fire —
     /// reject it early as a construction bug).
-    pub fn mct(mut controls: Vec<Control>, target: usize) -> Self {
+    pub fn mct(controls: Vec<Control>, target: usize) -> Self {
+        Self::try_mct(controls, target).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Gate::mct`]: sorts and deduplicates the controls, then
+    /// validates them against the target.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError`] when the target appears among the controls or
+    /// two controls on the same line have opposite polarity.
+    pub fn try_mct(mut controls: Vec<Control>, target: usize) -> Result<Self, GateError> {
         controls.sort_unstable();
         controls.dedup();
-        for w in controls.windows(2) {
-            assert!(
-                w[0].line != w[1].line,
-                "contradictory controls on line {}",
-                w[0].line
-            );
-        }
-        assert!(
-            controls.iter().all(|c| c.line() != target),
-            "target {target} cannot be controlled"
-        );
-        Self {
+        Self::validate(&controls, target)?;
+        Ok(Self {
             controls,
             target: target as u32,
+        })
+    }
+
+    /// Validates a **sorted, deduplicated** control list against a target:
+    /// no line carries two opposite-polarity controls and the target is
+    /// not controlled. This is the single well-formedness check shared by
+    /// every constructor (and re-run structurally by `qda-analyze`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`GateError`] found, scanning controls in line
+    /// order.
+    pub fn validate(controls: &[Control], target: usize) -> Result<(), GateError> {
+        for w in controls.windows(2) {
+            if w[0].line == w[1].line {
+                return Err(GateError::ContradictoryControls { line: w[0].line() });
+            }
         }
+        if controls.iter().any(|c| c.line() == target) {
+            return Err(GateError::ControlOnTarget { target });
+        }
+        Ok(())
     }
 
     /// The controls, sorted by line.
@@ -166,22 +224,35 @@ impl Gate {
 
     /// Returns a copy with lines remapped through `map` (`map[old] = new`).
     ///
+    /// The result is re-canonicalized: a non-monotonic map reorders the
+    /// control list, and the sorted-controls invariant behind
+    /// [`Gate::control_on`] / [`Gate::controls_conflict`] must survive the
+    /// remap (it used not to — resynthesis splices remap through
+    /// arbitrary window orders).
+    ///
     /// # Panics
     ///
-    /// Panics if a referenced line is missing from the map.
+    /// Panics if a referenced line is missing from the map, or if the map
+    /// collides two of the gate's lines onto one (the remapped gate would
+    /// be malformed).
     #[must_use]
     pub fn remapped(&self, map: &[usize]) -> Gate {
-        Gate {
-            controls: self
-                .controls
-                .iter()
-                .map(|c| Control {
-                    line: map[c.line()] as u32,
-                    positive: c.positive,
-                })
-                .collect(),
-            target: map[self.target()] as u32,
-        }
+        let controls: Vec<Control> = self
+            .controls
+            .iter()
+            .map(|c| Control {
+                line: map[c.line()] as u32,
+                positive: c.positive,
+            })
+            .collect();
+        let target = map[self.target()];
+        let gate = Gate::mct(controls, target);
+        assert_eq!(
+            gate.num_controls(),
+            self.num_controls(),
+            "remap of {self} collides two controls onto one line"
+        );
+        gate
     }
 
     /// Returns a copy with one extra control added.
@@ -434,5 +505,56 @@ mod tests {
     #[should_panic(expected = "no control on line")]
     fn flipping_a_missing_control_is_loud() {
         let _ = Gate::cnot(0, 1).with_flipped_control(1);
+    }
+
+    #[test]
+    fn try_mct_reports_structured_errors() {
+        let e = Gate::try_mct(vec![Control::positive(0)], 0).unwrap_err();
+        assert_eq!(e, GateError::ControlOnTarget { target: 0 });
+        assert_eq!(e.to_string(), "target 0 cannot be controlled");
+        let e = Gate::try_mct(vec![Control::positive(2), Control::negative(2)], 1).unwrap_err();
+        assert_eq!(e, GateError::ContradictoryControls { line: 2 });
+        assert_eq!(e.to_string(), "contradictory controls on line 2");
+        let g = Gate::try_mct(vec![Control::negative(3), Control::positive(1)], 0).unwrap();
+        assert_eq!(
+            g,
+            Gate::mct(vec![Control::positive(1), Control::negative(3)], 0)
+        );
+    }
+
+    #[test]
+    fn validate_accepts_every_constructed_gate() {
+        for g in [
+            Gate::not(2),
+            Gate::cnot(3, 1),
+            Gate::mct(vec![Control::negative(0), Control::positive(4)], 2),
+        ] {
+            assert_eq!(Gate::validate(g.controls(), g.target()), Ok(()));
+        }
+    }
+
+    #[test]
+    fn remapping_recanonicalizes_control_order() {
+        // A decreasing map reverses the line order; the remapped gate must
+        // still keep its controls sorted or `control_on` silently breaks.
+        let g = Gate::mct(vec![Control::positive(0), Control::negative(1)], 2);
+        let r = g.remapped(&[5, 4, 3]);
+        assert_eq!(r.control_on(4), Some(Control::negative(4)));
+        assert_eq!(r.control_on(5), Some(Control::positive(5)));
+        let lines: Vec<usize> = r.controls().iter().map(|c| c.line()).collect();
+        assert_eq!(lines, vec![4, 5], "controls sorted after remap");
+        // Remapping with the inverse map round-trips.
+        let mut inv = vec![0; 6];
+        for (old, &new) in [5usize, 4, 3].iter().enumerate() {
+            inv[new] = old;
+        }
+        assert_eq!(r.remapped(&inv), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn remapping_onto_a_shared_line_is_loud() {
+        let g = Gate::mct(vec![Control::positive(0), Control::positive(1)], 2);
+        let _ = g.remapped(&[0, 0, 2]);
     }
 }

@@ -21,7 +21,15 @@
 //!   with a partner X;
 //! * [`rules::RewriteCost`] — the cost-aware acceptance policy: a rewrite
 //!   fires only if it never increases the T-count, with gate count as the
-//!   tie-break.
+//!   tie-break;
+//! * **constant propagation** ([`optimize_assuming`]) — when the caller
+//!   asserts that some lines start at `|0⟩` (the flows assert it for
+//!   every non-input line, matching the verification contract), a
+//!   forward constant-value pass removes gates with a provably
+//!   unsatisfiable control (const-0) and drops provably satisfied
+//!   controls (const-1). Its equivalence gate
+//!   ([`equivalence_witness_assuming`]) checks exactly the assumed state
+//!   space — all states with the assumed lines at zero.
 //!
 //! Scans are bounded by [`OptOptions::window`] live gates, and every
 //! rewrite requeues only its neighbourhood, keeping the whole pass
@@ -102,6 +110,14 @@ pub struct OptStats {
     /// X-gate pairs annihilated by NOT-propagation (with the polarity
     /// flips committed to the gates in between).
     pub not_absorptions: u64,
+    /// Gates removed by constant propagation because a control is
+    /// provably never satisfied on the assumed state space (const-0 rule;
+    /// only fires under [`optimize_assuming`]).
+    pub const_dead: u64,
+    /// Controls dropped by constant propagation because they are provably
+    /// always satisfied on the assumed state space (const-1 rule; only
+    /// fires under [`optimize_assuming`]).
+    pub const_drops: u64,
     /// Structurally applicable rewrites the acceptance policy refused.
     /// The shipped rule catalogue never regresses the policy's cost
     /// order, so this stays zero; it exists so a future rule that *can*
@@ -112,7 +128,12 @@ pub struct OptStats {
 impl OptStats {
     /// Total number of accepted rewrites.
     pub fn total_rewrites(&self) -> u64 {
-        self.cancellations + self.polarity_merges + self.subset_merges + self.not_absorptions
+        self.cancellations
+            + self.polarity_merges
+            + self.subset_merges
+            + self.not_absorptions
+            + self.const_dead
+            + self.const_drops
     }
 }
 
@@ -209,10 +230,138 @@ fn find_rewrite(list: &GateList, i: usize, window: usize, rejected: &mut u64) ->
 /// the window around every rewrite, so the pass really reaches a
 /// fixpoint of its rule set.
 pub fn optimize(circuit: &Circuit, options: &OptOptions) -> Optimized {
+    optimize_assuming(circuit, options, &[])
+}
+
+/// [`optimize`] under an **initial-state assumption**: every line in
+/// `zero_lines` starts at `|0⟩`. On top of the peephole catalogue this
+/// enables the two constant-propagation rules (const-0 gate removal,
+/// const-1 control dropping), interleaved with the peephole pass to a
+/// joint fixpoint. The output realizes the same permutation as the input
+/// on the **assumed state space** — all states with the `zero_lines` at
+/// zero — which is exactly what [`equivalence_witness_assuming`] checks
+/// and what the flows' `verify_computes` contract initializes.
+///
+/// With an empty `zero_lines` this is exactly [`optimize`].
+pub fn optimize_assuming(
+    circuit: &Circuit,
+    options: &OptOptions,
+    zero_lines: &[usize],
+) -> Optimized {
     let window = options.window.max(1);
-    let mut list = GateList::new(circuit.gates());
     let mut stats = OptStats::default();
-    let n = circuit.num_gates();
+    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    let mut first = true;
+    loop {
+        let before_const = stats.total_rewrites();
+        if !zero_lines.is_empty() {
+            gates = const_prop_pass(&gates, circuit.num_lines(), zero_lines, &mut stats);
+        }
+        let const_changed = stats.total_rewrites() != before_const;
+        if !first && !const_changed {
+            break;
+        }
+        gates = peephole_pass(&gates, window, &mut stats);
+        first = false;
+        if zero_lines.is_empty() {
+            // No const rules in play: the peephole pass alone reaches its
+            // fixpoint in one call (the worklist requeues internally).
+            break;
+        }
+    }
+    let mut out = Circuit::new(circuit.num_lines());
+    for g in gates {
+        out.add_gate(g);
+    }
+    let (before, after) = (circuit.cost(), out.cost());
+    assert!(
+        after.t_count <= before.t_count && after.gates <= before.gates,
+        "acceptance policy violated: {before} -> {after}"
+    );
+    Optimized {
+        circuit: out,
+        stats,
+    }
+}
+
+/// The scalar constant lattice of the const-propagation pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ConstVal {
+    /// Provably `0` at this point for every assumed start state.
+    Zero,
+    /// Provably `1` at this point for every assumed start state.
+    One,
+    /// Unknown / input-dependent.
+    Top,
+}
+
+impl ConstVal {
+    fn flipped(self) -> ConstVal {
+        match self {
+            ConstVal::Zero => ConstVal::One,
+            ConstVal::One => ConstVal::Zero,
+            ConstVal::Top => ConstVal::Top,
+        }
+    }
+}
+
+/// One forward constant-propagation sweep: walks the cascade tracking a
+/// [`ConstVal`] per line (lines in `zero_lines` start at
+/// [`ConstVal::Zero`], everything else at [`ConstVal::Top`]), removing
+/// gates whose control set is provably unsatisfiable and dropping
+/// provably satisfied controls. Counts land in `stats.const_dead` /
+/// `stats.const_drops`.
+fn const_prop_pass(
+    gates: &[Gate],
+    num_lines: usize,
+    zero_lines: &[usize],
+    stats: &mut OptStats,
+) -> Vec<Gate> {
+    let mut vals = vec![ConstVal::Top; num_lines];
+    for &l in zero_lines {
+        vals[l] = ConstVal::Zero;
+    }
+    let mut out = Vec::with_capacity(gates.len());
+    'gates: for g in gates {
+        let mut drops: Vec<usize> = Vec::new();
+        for c in g.controls() {
+            match (vals[c.line()], c.is_positive()) {
+                // Control can never be satisfied: the gate never fires.
+                (ConstVal::Zero, true) | (ConstVal::One, false) => {
+                    stats.const_dead += 1;
+                    continue 'gates;
+                }
+                // Control is always satisfied: it carries no information.
+                (ConstVal::Zero, false) | (ConstVal::One, true) => drops.push(c.line()),
+                (ConstVal::Top, _) => {}
+            }
+        }
+        let gate = if drops.is_empty() {
+            g.clone()
+        } else {
+            stats.const_drops += drops.len() as u64;
+            let mut gate = g.clone();
+            for l in drops {
+                gate = gate.without_control(l);
+            }
+            gate
+        };
+        vals[gate.target()] = if gate.num_controls() == 0 {
+            vals[gate.target()].flipped()
+        } else {
+            ConstVal::Top
+        };
+        out.push(gate);
+    }
+    out
+}
+
+/// The worklist-driven peephole core shared by [`optimize`] and
+/// [`optimize_assuming`]: runs the cancellation/merge/NOT-propagation
+/// catalogue on a gate list to its fixpoint.
+fn peephole_pass(gates: &[Gate], window: usize, stats: &mut OptStats) -> Vec<Gate> {
+    let mut list = GateList::new(gates);
+    let n = gates.len();
     let mut queue: VecDeque<usize> = (0..n).collect();
     let mut queued = vec![true; n];
     while let Some(i) = queue.pop_front() {
@@ -265,19 +414,7 @@ pub fn optimize(circuit: &Circuit, options: &OptOptions) -> Optimized {
             }
         }
     }
-    let mut out = Circuit::new(circuit.num_lines());
-    for g in list.to_gates() {
-        out.add_gate(g);
-    }
-    let (before, after) = (circuit.cost(), out.cost());
-    assert!(
-        after.t_count <= before.t_count && after.gates <= before.gates,
-        "acceptance policy violated: {before} -> {after}"
-    );
-    Optimized {
-        circuit: out,
-        stats,
-    }
+    list.to_gates()
 }
 
 /// Witness that an optimized circuit diverged from its original: one
@@ -379,6 +516,102 @@ pub fn equivalence_witness(original: &Circuit, optimized: &Circuit) -> Option<Op
     None
 }
 
+/// [`equivalence_witness`] restricted to the **assumed state space**:
+/// only start states with every line in `zero_lines` at `0` are
+/// enumerated or sampled. This is the soundness gate matching
+/// [`optimize_assuming`] — its constant-propagation rules are allowed to
+/// change the function on states outside the assumption, exactly as the
+/// flows' ancilla-initialization contract permits.
+///
+/// Exhaustive over all `2^f` assignments of the `f` free (unassumed)
+/// lines when `f ≤` [`EXHAUSTIVE_LINE_LIMIT`], otherwise
+/// [`SAMPLED_STATES`] seeded-random assignments of the free lines.
+/// With an empty `zero_lines` this is exactly [`equivalence_witness`].
+///
+/// # Panics
+///
+/// Panics if the circuits differ in line count or a `zero_lines` entry is
+/// out of range.
+pub fn equivalence_witness_assuming(
+    original: &Circuit,
+    optimized: &Circuit,
+    zero_lines: &[usize],
+) -> Option<OptMismatch> {
+    if zero_lines.is_empty() {
+        return equivalence_witness(original, optimized);
+    }
+    assert_eq!(
+        original.num_lines(),
+        optimized.num_lines(),
+        "equivalence check requires equal line counts"
+    );
+    let n = original.num_lines();
+    let mut zero = vec![false; n];
+    for &l in zero_lines {
+        zero[l] = true;
+    }
+    let free_lines: Vec<usize> = (0..n).filter(|&l| !zero[l]).collect();
+    let all_lines: Vec<usize> = (0..n).collect();
+    let chunks: Vec<&[usize]> = all_lines.chunks(64).collect();
+    // Compares one batch of start states (given as per-free-chunk value
+    // vectors) and returns a witness on the first divergence.
+    let run_batch = |free_chunks: &[&[usize]], values: &[Vec<u64>], take: usize| {
+        let mut sa = BatchState::zeros(n, take);
+        for (lines, vals) in free_chunks.iter().zip(values) {
+            sa.load_register(lines, vals);
+        }
+        let mut sb = sa.clone();
+        let ins: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
+        original.apply_batch(&mut sa);
+        optimized.apply_batch(&mut sb);
+        let outs_a: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
+        let outs_b: Vec<Vec<u64>> = chunks.iter().map(|lines| sb.read_register(lines)).collect();
+        (0..take).find_map(|k| {
+            if outs_a.iter().zip(&outs_b).any(|(a, b)| a[k] != b[k]) {
+                Some(OptMismatch {
+                    input: ins.iter().map(|v| v[k]).collect(),
+                    original: outs_a.iter().map(|v| v[k]).collect(),
+                    optimized: outs_b.iter().map(|v| v[k]).collect(),
+                })
+            } else {
+                None
+            }
+        })
+    };
+    if free_lines.len() <= EXHAUSTIVE_LINE_LIMIT {
+        let free: &[usize] = &free_lines;
+        for inputs in consecutive_batches(1u64 << free_lines.len()) {
+            let take = inputs.len();
+            if let Some(w) = run_batch(&[free], &[inputs], take) {
+                return Some(w);
+            }
+        }
+        return None;
+    }
+    let free_chunks: Vec<&[usize]> = free_lines.chunks(64).collect();
+    let mut rng = StdRng::seed_from_u64(0x0917_C3EC);
+    let mut remaining = SAMPLED_STATES;
+    while remaining > 0 {
+        let take = remaining.min(BATCH_STATES as u64) as usize;
+        let values: Vec<Vec<u64>> = free_chunks
+            .iter()
+            .map(|lines| {
+                let mask = if lines.len() == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << lines.len()) - 1
+                };
+                (0..take).map(|_| rng.gen::<u64>() & mask).collect()
+            })
+            .collect();
+        if let Some(w) = run_batch(&free_chunks, &values, take) {
+            return Some(w);
+        }
+        remaining -= take as u64;
+    }
+    None
+}
+
 /// [`optimize`], then machine-check the rewritten circuit against the
 /// original with [`equivalence_witness`] — so an optimizer bug surfaces
 /// as a hard error carrying a witness state, never as a silently wrong
@@ -388,8 +621,23 @@ pub fn equivalence_witness(original: &Circuit, optimized: &Circuit) -> Option<Op
 ///
 /// Returns the witness when the rewritten circuit diverges.
 pub fn optimize_checked(circuit: &Circuit, options: &OptOptions) -> Result<Optimized, OptMismatch> {
-    let out = optimize(circuit, options);
-    match equivalence_witness(circuit, &out.circuit) {
+    optimize_checked_assuming(circuit, options, &[])
+}
+
+/// [`optimize_assuming`], then machine-check the rewritten circuit with
+/// [`equivalence_witness_assuming`] over the assumed state space.
+///
+/// # Errors
+///
+/// Returns the witness when the rewritten circuit diverges on a state
+/// satisfying the assumption.
+pub fn optimize_checked_assuming(
+    circuit: &Circuit,
+    options: &OptOptions,
+    zero_lines: &[usize],
+) -> Result<Optimized, OptMismatch> {
+    let out = optimize_assuming(circuit, options, zero_lines);
+    match equivalence_witness_assuming(circuit, &out.circuit, zero_lines) {
         None => Ok(out),
         Some(witness) => Err(witness),
     }
@@ -577,6 +825,78 @@ mod tests {
         let w = equivalence_witness(&a, &b).expect("NOT on line 67 must be seen");
         assert_eq!(w.input.len(), 2, "two 64-line chunks");
         assert_eq!(w.original[1] ^ w.optimized[1], 1 << (67 - 64));
+    }
+
+    #[test]
+    fn const_rules_fire_only_under_the_assumption() {
+        let mut c = Circuit::new(4);
+        // Positive control on assumed-zero line 2: never fires.
+        c.toffoli(0, 2, 1);
+        // Negative control on line 2: always satisfied, drops away.
+        c.mct(vec![Control::positive(3), Control::negative(2)], 1);
+        let plain = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(plain.stats.const_dead, 0);
+        assert_eq!(plain.stats.const_drops, 0);
+        assert_eq!(plain.circuit.num_gates(), 2, "no rules without assumption");
+        let out = optimize_checked_assuming(&c, &opts(), &[2]).unwrap();
+        assert_eq!(out.stats.const_dead, 1);
+        assert_eq!(out.stats.const_drops, 1);
+        assert_eq!(out.circuit.gates(), &[Gate::cnot(3, 1)]);
+    }
+
+    #[test]
+    fn const_prop_tracks_not_gates_and_feeds_the_peephole_pass() {
+        let mut c = Circuit::new(4);
+        c.not(2); // assumed-zero line 2 becomes const 1
+        c.toffoli(0, 2, 1); // positive control on const 1: drops to CNOT
+        c.mct(vec![Control::positive(3), Control::negative(2)], 1); // never fires
+        c.not(2); // line 2 back to const 0
+        let out = optimize_checked_assuming(&c, &opts(), &[2]).unwrap();
+        // After the const pass the NOT pair encloses no control on line 2
+        // any more, so NOT-propagation annihilates it.
+        assert_eq!(out.circuit.gates(), &[Gate::cnot(0, 1)]);
+        assert_eq!(out.stats.const_dead, 1);
+        assert_eq!(out.stats.const_drops, 1);
+        assert!(
+            out.stats.cancellations + out.stats.not_absorptions >= 1,
+            "the peephole pass must have removed the NOT pair"
+        );
+    }
+
+    #[test]
+    fn assumed_equivalence_checks_exactly_the_assumed_states() {
+        // toffoli(0,1,2) is the identity on every state with line 0 = 0.
+        let mut a = Circuit::new(3);
+        a.toffoli(0, 1, 2);
+        let b = Circuit::new(3);
+        assert!(equivalence_witness(&a, &b).is_some(), "full space differs");
+        assert_eq!(equivalence_witness_assuming(&a, &b, &[0]), None);
+        // A divergence inside the assumed space is still caught, and the
+        // witness respects the assumption.
+        let mut c = Circuit::new(3);
+        c.cnot(1, 2);
+        let w = equivalence_witness_assuming(&a, &c, &[0]).expect("differs at line0=0");
+        assert_eq!(w.input[0] & 1, 0, "witness has line 0 at zero");
+        assert_eq!(a.simulate_u64(w.input[0]), w.original[0]);
+        assert_eq!(c.simulate_u64(w.input[0]), w.optimized[0]);
+    }
+
+    #[test]
+    fn assumed_equivalence_samples_wide_circuits() {
+        // 80 lines, 10 assumed zero: the free space is sampled. A gate
+        // guarded by an assumed-zero line is invisible; one guarded by a
+        // free line is not.
+        let zeros: Vec<usize> = (70..80).collect();
+        let mut a = Circuit::new(80);
+        a.cnot(0, 69);
+        let mut b = a.clone();
+        b.add_gate(Gate::toffoli(1, 70, 2)); // control on assumed-zero 70
+        assert_eq!(equivalence_witness_assuming(&a, &b, &zeros), None);
+        b.add_gate(Gate::cnot(3, 4)); // free-line divergence
+        let w = equivalence_witness_assuming(&a, &b, &zeros).expect("must be seen");
+        for &l in &zeros {
+            assert_eq!(w.input[l / 64] >> (l % 64) & 1, 0, "assumption holds");
+        }
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct HierarchicalSynthesis {
     pub input_lines: Vec<usize>,
     /// Output lines, clean before execution, carrying the results after.
     pub output_lines: Vec<usize>,
+    /// Mid-circuit ancilla release events `(line, gate_position)` from
+    /// the per-output recycling strategy (empty for the others): before
+    /// the gate at `gate_position`, `line` went back to the allocator
+    /// and must hold |0⟩ — the contract the static lifecycle analysis
+    /// checks.
+    pub releases: Vec<(usize, usize)>,
 }
 
 /// Synthesizes a reversible circuit computing all XMG outputs.
@@ -292,6 +298,7 @@ fn synthesize_whole(
     }
     circuit.ensure_lines(alloc.high_water());
     HierarchicalSynthesis {
+        releases: alloc.release_events().to_vec(),
         circuit,
         input_lines: (0..n).collect(),
         output_lines,
@@ -353,12 +360,13 @@ fn synthesize_per_output(xmg: &Xmg, options: &HierarchicalOptions) -> Hierarchic
         for &node in &cone {
             let l = frame.line_of[node];
             if l != usize::MAX && l >= n {
-                alloc.release(l);
+                alloc.release_at(l, circuit.num_gates());
             }
         }
     }
     circuit.ensure_lines(alloc.high_water());
     HierarchicalSynthesis {
+        releases: alloc.release_events().to_vec(),
         circuit,
         input_lines: (0..n).collect(),
         output_lines,

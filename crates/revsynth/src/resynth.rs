@@ -229,12 +229,17 @@ fn psdkro_cover(f: &TruthTable) -> Vec<Cube> {
             .collect()
     };
     let (c0, c1, cd) = (psdkro_cover(&f0), psdkro_cover(&f1), psdkro_cover(&df));
-    let pos_davio: Vec<Cube> = c0.iter().cloned().chain(with(cd.clone(), true)).collect();
-    let neg_davio: Vec<Cube> = c1.iter().cloned().chain(with(cd, false)).collect();
+    let pos_davio: Vec<Cube> = c0.iter().copied().chain(with(cd.clone(), true)).collect();
+    let neg_davio: Vec<Cube> = c1.iter().copied().chain(with(cd, false)).collect();
     let shannon: Vec<Cube> = with(c0, false).into_iter().chain(with(c1, true)).collect();
     [pos_davio, neg_davio, shannon]
         .into_iter()
-        .min_by_key(|c| (c.len(), c.iter().map(|q| q.num_literals()).sum::<usize>()))
+        .min_by_key(|c| {
+            (
+                c.len(),
+                c.iter().map(qda_logic::Cube::num_literals).sum::<usize>(),
+            )
+        })
         .expect("three candidates")
 }
 

@@ -151,9 +151,9 @@ pub fn elaborate(module: &Module) -> Result<Aig, VerilogError> {
                     BinOp::Mod => words::divmod(aig, &a, &b).1,
                     BinOp::Shl => shift(aig, &a, &b, true),
                     BinOp::Shr => shift(aig, &a, &b, false),
-                    BinOp::And => words::bitwise(aig, &a, &b, |g, x, y| g.and(x, y)),
-                    BinOp::Or => words::bitwise(aig, &a, &b, |g, x, y| g.or(x, y)),
-                    BinOp::Xor => words::bitwise(aig, &a, &b, |g, x, y| g.xor(x, y)),
+                    BinOp::And => words::bitwise(aig, &a, &b, qda_logic::Aig::and),
+                    BinOp::Or => words::bitwise(aig, &a, &b, qda_logic::Aig::or),
+                    BinOp::Xor => words::bitwise(aig, &a, &b, qda_logic::Aig::xor),
                     BinOp::LogicalAnd => {
                         let la = words::red_or(aig, &a);
                         let lb = words::red_or(aig, &b);
