@@ -8,7 +8,7 @@
 //! simulation. A warning here on a flow output therefore means the
 //! optimizer was skipped or beaten — worth surfacing either way.
 
-use qda_rev::Gate;
+use qda_rev::GateArena;
 
 use crate::diag::{Code, Diagnostic, Span};
 use crate::interface::CircuitInterface;
@@ -30,8 +30,9 @@ impl K {
     }
 }
 
-/// Runs constant propagation, appending findings to `diags`.
-pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
+/// Runs constant propagation over the packed arena, appending findings
+/// to `diags`.
+pub fn check(gates: &GateArena, iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
     let n = iface.num_lines;
     let mut vals = vec![K::Top; n];
     for l in iface.zero_lines() {
@@ -41,7 +42,7 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
     releases.sort_by_key(|&(_, pos)| pos);
     let mut next_release = 0;
 
-    for (i, gate) in gates.iter().enumerate() {
+    for (i, (_, gate)) in gates.iter().enumerate() {
         while next_release < releases.len() && releases[next_release].1 <= i {
             let (line, _) = releases[next_release];
             next_release += 1;
@@ -62,11 +63,12 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
             }
         }
         if dead {
+            // Materializing the gate is fine here: diagnostics are cold.
             diags.push(
                 Diagnostic::new(
                     Code::ConstDeadGate,
                     Span::gate(i),
-                    format!("gate {i} ({gate}) can never fire: a control is constant with the opposite polarity"),
+                    format!("gate {i} ({}) can never fire: a control is constant with the opposite polarity", gate.to_gate()),
                 )
                 .with_suggestion("remove the gate (optimize_checked_assuming does this soundly)"),
             );
@@ -78,7 +80,8 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
                     Code::ConstControl,
                     Span::gate_line(i, line),
                     format!(
-                        "gate {i} ({gate}) controls on line {line}, which is provably constant"
+                        "gate {i} ({}) controls on line {line}, which is provably constant",
+                        gate.to_gate()
                     ),
                 )
                 .with_suggestion("drop the control (optimize_checked_assuming does this soundly)"),
@@ -103,7 +106,7 @@ mod tests {
 
     fn run(c: &Circuit, iface: &CircuitInterface) -> Vec<Code> {
         let mut diags = Vec::new();
-        check(c.gates(), iface, &mut diags);
+        check(c.packed(), iface, &mut diags);
         diags.iter().map(|d| d.code).collect()
     }
 

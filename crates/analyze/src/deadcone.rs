@@ -12,13 +12,14 @@
 //! dead at that point is dead (XOR-ing into a line nobody will read has
 //! no observable effect), and a live gate makes its control lines live.
 
-use qda_rev::Gate;
+use qda_rev::GateArena;
 
 use crate::diag::{Code, Diagnostic, Span};
 use crate::interface::CircuitInterface;
 
-/// Runs dead-cone detection, appending findings to `diags`.
-pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
+/// Runs dead-cone detection over the packed arena, appending findings
+/// to `diags`.
+pub fn check(arena: &GateArena, iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
     let n = iface.num_lines;
     let mut live = vec![false; n];
     for &l in &iface.output_lines {
@@ -41,6 +42,9 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
     if live.iter().all(|&b| b) {
         return;
     }
+    // The liveness walk is backwards; the arena iterates forward, so
+    // collect the (cheap, borrowed) gate views first.
+    let gates: Vec<_> = arena.iter().map(|(_, g)| g).collect();
     let mut dead = Vec::new();
     for (i, gate) in gates.iter().enumerate().rev() {
         let t = gate.target();
@@ -59,7 +63,8 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
                 Code::DeadGate,
                 Span::gate_line(i, gate.target()),
                 format!(
-                    "gate {i} ({gate}) only affects line {}, which no output observes",
+                    "gate {i} ({}) only affects line {}, which no output observes",
+                    gate.to_gate(),
                     gate.target()
                 ),
             )
@@ -75,7 +80,7 @@ mod tests {
 
     fn run(c: &Circuit, iface: &CircuitInterface) -> Vec<usize> {
         let mut diags = Vec::new();
-        check(c.gates(), iface, &mut diags);
+        check(c.packed(), iface, &mut diags);
         assert!(diags.iter().all(|d| d.code == Code::DeadGate));
         diags.iter().map(|d| d.span.gates.unwrap().0).collect()
     }

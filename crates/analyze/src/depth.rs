@@ -12,7 +12,7 @@
 //!   decompose into T gates under the paper's cost model) take a layer,
 //!   NOT/CNOT gates are Clifford and free.
 
-use qda_rev::Gate;
+use qda_rev::{GateArena, PackedGate};
 
 /// Depth metrics of one circuit.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -23,25 +23,25 @@ pub struct DepthMetrics {
     pub t_depth: usize,
 }
 
-/// Measures both depth metrics.
-pub fn measure(gates: &[Gate], num_lines: usize) -> DepthMetrics {
+/// Measures both depth metrics over the packed arena.
+pub fn measure(arena: &GateArena) -> DepthMetrics {
     DepthMetrics {
-        logical_depth: asap(gates, num_lines, |_| 1),
-        t_depth: asap(gates, num_lines, |g| usize::from(g.num_controls() >= 2)),
+        logical_depth: asap(arena, |_| 1),
+        t_depth: asap(arena, |g| usize::from(g.num_controls() >= 2)),
     }
 }
 
-fn asap(gates: &[Gate], num_lines: usize, duration: impl Fn(&Gate) -> usize) -> usize {
-    let mut read_end = vec![0usize; num_lines];
-    let mut write_end = vec![0usize; num_lines];
+fn asap(arena: &GateArena, duration: impl Fn(&PackedGate<'_>) -> usize) -> usize {
+    let mut read_end = vec![0usize; arena.num_lines()];
+    let mut write_end = vec![0usize; arena.num_lines()];
     let mut depth = 0;
-    for gate in gates {
+    for (_, gate) in arena {
         let t = gate.target();
         let mut start = read_end[t].max(write_end[t]);
         for c in gate.controls() {
             start = start.max(write_end[c.line()]);
         }
-        let end = start + duration(gate);
+        let end = start + duration(&gate);
         for c in gate.controls() {
             let r = &mut read_end[c.line()];
             *r = (*r).max(end);
@@ -63,7 +63,7 @@ mod tests {
         c.toffoli(0, 1, 2); // layer 1
         c.toffoli(3, 4, 5); // disjoint: layer 1
         c.toffoli(0, 1, 2); // write-after-write on 2: layer 2
-        let m = measure(c.gates(), 6);
+        let m = measure(c.packed());
         assert_eq!(m.logical_depth, 2);
         assert_eq!(m.t_depth, 2);
     }
@@ -73,7 +73,7 @@ mod tests {
         let mut c = Circuit::new(4);
         c.toffoli(0, 1, 2);
         c.toffoli(0, 1, 3); // same controls, distinct target: same layer
-        let m = measure(c.gates(), 4);
+        let m = measure(c.packed());
         assert_eq!(m.t_depth, 1);
         assert_eq!(m.logical_depth, 1);
     }
@@ -84,9 +84,12 @@ mod tests {
         c.toffoli(0, 1, 2); // T layer 1
         c.cnot(2, 0); // Clifford, but reads 2 after the write
         c.toffoli(0, 1, 2); // must follow the CNOT's read of 2 and write of 0
-        let m = measure(c.gates(), 3);
+        let m = measure(c.packed());
         assert_eq!(m.logical_depth, 3);
         assert_eq!(m.t_depth, 2, "the CNOT adds no T layer");
-        assert_eq!(measure(&[], 3), DepthMetrics::default());
+        assert_eq!(
+            measure(&qda_rev::GateArena::new(3)),
+            DepthMetrics::default()
+        );
     }
 }

@@ -38,7 +38,7 @@ pub use diag::{Code, Diagnostic, Severity, Span};
 pub use interface::CircuitInterface;
 
 use qda_rev::cost::t_count_gate;
-use qda_rev::{Circuit, Gate};
+use qda_rev::{Circuit, Gate, GateArena};
 
 /// Static metrics computed alongside the diagnostics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -134,32 +134,64 @@ impl Report {
 }
 
 /// Analyzes a circuit against its declared interface.
+///
+/// The dataflow passes walk the circuit's own packed arena directly; no
+/// per-gate materialization happens on this path. (The structural
+/// front-line check still sees legacy [`Gate`] values, because those
+/// are the representation malformed cascades arrive in.)
 pub fn analyze(circuit: &Circuit, iface: &CircuitInterface) -> Report {
-    analyze_gates(circuit.num_lines(), circuit.gates(), iface)
-}
-
-/// Analyzes a raw gate list (the circuit need not exist as a
-/// [`Circuit`]; this is also what lets tests feed in malformed input the
-/// safe constructors refuse to build).
-pub fn analyze_gates(num_lines: usize, gates: &[Gate], iface: &CircuitInterface) -> Report {
     let mut diagnostics = Vec::new();
-    let structurally_sound = wellformed::check(num_lines, gates, iface, &mut diagnostics);
-    let mut metrics = Metrics {
-        num_lines,
-        num_gates: gates.len(),
-        t_count: gates.iter().map(t_count_gate).sum(),
-        depth: DepthMetrics::default(),
-    };
+    let gates = circuit.gates();
+    let structurally_sound =
+        wellformed::check(circuit.num_lines(), &gates, iface, &mut diagnostics);
+    let mut metrics = metrics_of(circuit.num_lines(), &gates);
     if structurally_sound {
-        lifecycle::check(gates, iface, &mut diagnostics);
-        constprop::check(gates, iface, &mut diagnostics);
-        deadcone::check(gates, iface, &mut diagnostics);
-        metrics.depth = depth::measure(gates, num_lines);
+        run_dataflow(circuit.packed(), iface, &mut diagnostics, &mut metrics);
     }
     Report {
         diagnostics,
         metrics,
     }
+}
+
+/// Analyzes a raw gate list (the circuit need not exist as a
+/// [`Circuit`]; this is also what lets tests feed in malformed input the
+/// safe constructors refuse to build). The gates are packed into a
+/// [`GateArena`] only after the structural check proves that sound —
+/// out-of-bounds lines cannot be represented as masks.
+pub fn analyze_gates(num_lines: usize, gates: &[Gate], iface: &CircuitInterface) -> Report {
+    let mut diagnostics = Vec::new();
+    let structurally_sound = wellformed::check(num_lines, gates, iface, &mut diagnostics);
+    let mut metrics = metrics_of(num_lines, gates);
+    if structurally_sound {
+        let arena = GateArena::from_gates(num_lines, gates);
+        run_dataflow(&arena, iface, &mut diagnostics, &mut metrics);
+    }
+    Report {
+        diagnostics,
+        metrics,
+    }
+}
+
+fn metrics_of(num_lines: usize, gates: &[Gate]) -> Metrics {
+    Metrics {
+        num_lines,
+        num_gates: gates.len(),
+        t_count: gates.iter().map(t_count_gate).sum(),
+        depth: DepthMetrics::default(),
+    }
+}
+
+fn run_dataflow(
+    arena: &GateArena,
+    iface: &CircuitInterface,
+    diagnostics: &mut Vec<Diagnostic>,
+    metrics: &mut Metrics,
+) {
+    lifecycle::check(arena, iface, diagnostics);
+    constprop::check(arena, iface, diagnostics);
+    deadcone::check(arena, iface, diagnostics);
+    metrics.depth = depth::measure(arena);
 }
 
 #[cfg(test)]

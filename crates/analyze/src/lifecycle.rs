@@ -17,7 +17,7 @@
 //! the analyzer never denies on uncertainty. Reads of a released line
 //! before a re-initialising write are [`Code::UseAfterRelease`].
 
-use qda_rev::Gate;
+use qda_rev::GateArena;
 
 use crate::diag::{Code, Diagnostic, Span};
 use crate::interface::CircuitInterface;
@@ -27,8 +27,10 @@ use crate::sym::SymState;
 /// under, with the version each control line had at that moment.
 type PendingWrite = Vec<(usize, bool, u64)>;
 
-/// Runs the lifecycle analysis, appending findings to `diags`.
-pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
+/// Runs the lifecycle analysis over the packed arena, appending
+/// findings to `diags`.
+pub fn check(arena: &GateArena, iface: &CircuitInterface, diags: &mut Vec<Diagnostic>) {
+    let gates: Vec<_> = arena.iter().map(|(_, g)| g).collect();
     let n = iface.num_lines;
     let mut sym = SymState::for_interface(iface);
     // Structural engine state.
@@ -111,7 +113,6 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
         // one (same controls, same control versions) or push it.
         let entry: PendingWrite = gate
             .controls()
-            .iter()
             .map(|c| (c.line(), c.is_positive(), versions[c.line()]))
             .collect();
         if stacks[t].last() == Some(&entry) {
@@ -121,7 +122,7 @@ pub fn check(gates: &[Gate], iface: &CircuitInterface, diags: &mut Vec<Diagnosti
         }
         versions[t] += 1;
 
-        sym.apply(gate);
+        sym.apply_packed(gate);
     }
 
     // End of circuit: every ancilla must be clean when the flow says so.
@@ -164,7 +165,7 @@ mod tests {
 
     fn run(c: &Circuit, iface: &CircuitInterface) -> Vec<Code> {
         let mut diags = Vec::new();
-        check(c.gates(), iface, &mut diags);
+        check(c.packed(), iface, &mut diags);
         diags.iter().map(|d| d.code).collect()
     }
 

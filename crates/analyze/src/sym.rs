@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use qda_rev::Gate;
+use qda_rev::{Control, Gate, PackedGate};
 
 use crate::interface::CircuitInterface;
 
@@ -178,8 +178,18 @@ impl SymState {
     /// Advances the state across one gate: the target is XORed with the
     /// product of the (polarity-adjusted) control values.
     pub fn apply(&mut self, gate: &Gate) {
+        self.apply_controls(gate.controls().iter().copied(), gate.target());
+    }
+
+    /// [`SymState::apply`] on a packed gate view — the controls are
+    /// decoded straight from the mask words, no [`Gate`] materialized.
+    pub fn apply_packed(&mut self, gate: &PackedGate<'_>) {
+        self.apply_controls(gate.controls(), gate.target());
+    }
+
+    fn apply_controls(&mut self, controls: impl Iterator<Item = Control>, target: usize) {
         let mut product = LineVal::one();
-        for c in gate.controls() {
+        for c in controls {
             let v = &self.vals[c.line()];
             let factor = if c.is_positive() {
                 v.clone()
@@ -191,8 +201,7 @@ impl SymState {
                 break;
             }
         }
-        let t = gate.target();
-        self.vals[t] = self.vals[t].xor(&product);
+        self.vals[target] = self.vals[target].xor(&product);
     }
 
     /// Resets a line to the constant 0 (a fresh allocation after a
@@ -219,8 +228,8 @@ mod tests {
         c.cnot(2, 3);
         c.toffoli(0, 1, 2);
         let mut s = SymState::for_interface(&iface(4, 2));
-        for g in c.gates() {
-            s.apply(g);
+        for (_, g) in c.packed() {
+            s.apply_packed(&g);
         }
         assert!(s.value(2).is_zero(), "ancilla provably uncomputed");
         assert!(s.value(3).is_provably_nonzero(), "copy target holds a·b");

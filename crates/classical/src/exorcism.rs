@@ -44,6 +44,7 @@
 use qda_logic::cube::Cube;
 use qda_logic::esop::{xor_dedupe_sorted, MultiEsop};
 use qda_logic::hash::{FxHashMap, FxHashSet};
+use qda_logic::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::Entry;
@@ -504,41 +505,46 @@ fn minimize_indexed(esop: &mut MultiEsop, options: &ExorcismOptions) {
     // — and keep the smallest cover by (cube count, literal count). On
     // covers small enough to afford it, the naive-replay start runs too,
     // so the result is never worse than the naive oracle's.
+    //
+    // Every start is independent and individually deterministic, so the
+    // batch is sharded across workers ([`qda_logic::par`]); the fold
+    // below walks the results in start order and accepts only strictly
+    // better covers, which reproduces the serial outcome byte for byte
+    // whatever `QDA_WORKERS` says.
     let within_restart_budget = esop.len() <= options.restart_cube_limit;
-    let mut best: Option<Vec<(Cube, u64)>> =
-        within_restart_budget.then(|| run_naive_replay(esop.num_vars(), esop.cubes(), options));
+    let naive_jobs = usize::from(within_restart_budget);
     let starts = if within_restart_budget {
         options.restarts.clamp(1, 16)
     } else {
         1
     };
-    for start in 0..starts {
+    let runs = par::run_indexed(naive_jobs + starts, |job| {
+        if job < naive_jobs {
+            return run_naive_replay(esop.num_vars(), esop.cubes(), options);
+        }
+        let start = job - naive_jobs;
         let mut seed: Vec<(Cube, u64)> = esop.cubes().to_vec();
         match start {
             0 => {}
             1 => seed.reverse(),
             s => shuffle(&mut seed, s as u64),
         }
-        let cubes = run_indexed(
+        run_indexed(
             esop.num_vars(),
             &seed,
             options,
             start % 2 == 1,
             (start / 2) % 2 == 1,
-        );
-        let better = match &best {
-            None => true,
-            Some(b) => cover_cost(&cubes) < cover_cost(b),
-        };
-        if better {
-            best = Some(cubes);
-        }
-        if best.as_ref().is_some_and(Vec::is_empty) {
-            break;
+        )
+    });
+    let mut runs = runs.into_iter();
+    let mut best = runs.next().expect("at least one start ran");
+    for cubes in runs {
+        if cover_cost(&cubes) < cover_cost(&best) {
+            best = cubes;
         }
     }
-    let cubes = best.expect("at least one start ran");
-    *esop = MultiEsop::from_cubes(esop.num_vars(), esop.num_outputs(), cubes);
+    *esop = MultiEsop::from_cubes(esop.num_vars(), esop.num_outputs(), best);
 }
 
 /// Fisher–Yates with a seed-determined `StdRng` stream: deterministic

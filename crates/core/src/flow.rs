@@ -46,7 +46,7 @@ use qda_classical::exorcism::{minimize_esop, ExorcismOptions};
 use qda_classical::rewrite::{optimize_aig, OptimizeOptions};
 use qda_classical::xmg_map::map_to_xmg;
 use qda_logic::aig::Aig;
-use qda_rev::circuit::Circuit;
+use qda_rev::circuit::{Circuit, TooWideError};
 use qda_rev::cost::CircuitCost;
 use qda_rev::equiv::{verify_computes, VerifyOptions, VerifyOutcome};
 use qda_rev::opt::{optimize_checked_assuming, OptMismatch, OptOptions, OptStats};
@@ -73,6 +73,14 @@ pub enum FlowError {
     TooLarge {
         /// Explanation.
         reason: String,
+    },
+    /// The circuit (or its embedded permutation) is wider than an
+    /// explicit-permutation stage can enumerate. Carries the typed
+    /// [`TooWideError`] the simulation layer reports, so callers can
+    /// route the instance to sampled verification instead of aborting.
+    CircuitTooWide {
+        /// The offending width and the cap that rejected it.
+        error: TooWideError,
     },
     /// The synthesized circuit failed verification — a synthesis bug.
     VerificationFailed {
@@ -108,6 +116,7 @@ impl fmt::Display for FlowError {
             FlowError::Frontend(e) => write!(f, "frontend: {e}"),
             FlowError::Collapse(e) => write!(f, "collapse: {e}"),
             FlowError::TooLarge { reason } => write!(f, "instance too large: {reason}"),
+            FlowError::CircuitTooWide { error } => write!(f, "instance too wide: {error}"),
             FlowError::VerificationFailed { outcome } => {
                 write!(f, "verification failed: {outcome:?}")
             }
@@ -139,6 +148,12 @@ impl From<VerilogError> for FlowError {
 impl From<CollapseError> for FlowError {
     fn from(e: CollapseError) -> Self {
         FlowError::Collapse(e)
+    }
+}
+
+impl From<TooWideError> for FlowError {
+    fn from(error: TooWideError) -> Self {
+        FlowError::CircuitTooWide { error }
     }
 }
 
@@ -636,14 +651,16 @@ impl FunctionalFlow {
     /// work is spent on them.
     fn check_size(&self, design: &Design) -> Result<(), FlowError> {
         let n = design.bits();
-        if 2 * n - 1 > self.max_lines {
-            return Err(FlowError::TooLarge {
-                reason: format!(
-                    "embedded reciprocal needs ~{} lines, explicit TBS capped at {}",
-                    2 * n - 1,
-                    self.max_lines
-                ),
-            });
+        let lines = 2 * n - 1;
+        if lines > self.max_lines {
+            // The same typed error the simulation layer raises for
+            // over-wide explicit permutations, surfaced as a flow error
+            // instead of a process abort.
+            return Err(TooWideError {
+                lines,
+                limit: self.max_lines,
+            }
+            .into());
         }
         Ok(())
     }
@@ -912,7 +929,11 @@ mod tests {
     #[test]
     fn functional_flow_rejects_large_instances() {
         let r = FunctionalFlow::default().run(&Design::intdiv(16));
-        assert!(matches!(r, Err(FlowError::TooLarge { .. })));
+        let Err(FlowError::CircuitTooWide { error }) = r else {
+            panic!("expected a typed too-wide error");
+        };
+        assert_eq!(error.lines, 31);
+        assert_eq!(error.limit, 25);
     }
 
     #[test]
@@ -963,7 +984,7 @@ mod tests {
         let flow = FunctionalFlow::default();
         assert!(matches!(
             flow.precheck(&Design::intdiv(16)),
-            Err(FlowError::TooLarge { .. })
+            Err(FlowError::CircuitTooWide { .. })
         ));
         assert!(flow.precheck(&Design::intdiv(4)).is_ok());
         // Flows without a guard accept everything.
@@ -978,7 +999,7 @@ mod tests {
         let frontend =
             compute_frontend(&design, &OptimizeOptions::default()).expect("frontend itself is ok");
         let r = FunctionalFlow::default().run_with_frontend(&design, &frontend);
-        assert!(matches!(r, Err(FlowError::TooLarge { .. })));
+        assert!(matches!(r, Err(FlowError::CircuitTooWide { .. })));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! * [`xmg::Xmg`] — XOR-majority graphs (the multi-level representation used
 //!   by hierarchical reversible synthesis),
 //! * [`hash`] — the FxHash-style fast hasher backing every hot map in the
-//!   synthesis mid-end (strash tables, BDD caches, cube indexes).
+//!   synthesis mid-end (strash tables, BDD caches, cube indexes),
+//! * [`par`] — the deterministic fork–join helper behind every sharded
+//!   inner engine (`QDA_WORKERS`-controlled, index-ordered results).
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@ pub mod cube;
 pub mod esop;
 pub mod hash;
 pub mod npn;
+pub mod par;
 pub mod sim;
 pub mod tt;
 pub mod xmg;

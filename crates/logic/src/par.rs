@@ -1,0 +1,101 @@
+//! Deterministic fork–join helper for the sharded inner engines.
+//!
+//! Every parallel loop in the workspace (EXORCISM's diversified restarts,
+//! the peephole optimizer's support-disjoint components, the resynthesis
+//! candidate portfolio) has the same shape: `n` independent jobs whose
+//! results must be consumed **in job-index order** so a parallel run is
+//! byte-identical to a serial one. [`run_indexed`] is that shape: it fans
+//! the indices out over `std::thread::scope` workers and returns the
+//! results ordered by index, so callers fold them exactly as the serial
+//! loop would.
+//!
+//! The worker count comes from the `QDA_WORKERS` environment variable
+//! (`0` or unset → one worker per available CPU); `QDA_WORKERS=1` forces
+//! the fully serial path, which the CI worker-count matrix diffs against
+//! `QDA_WORKERS=2` to pin determinism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers parallel loops should use: `QDA_WORKERS` if set and
+/// nonzero, otherwise one per available CPU.
+#[must_use]
+pub fn worker_count() -> usize {
+    match std::env::var("QDA_WORKERS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) | Err(_) => available_cpus(),
+            Ok(n) => n,
+        },
+        Err(_) => available_cpus(),
+    }
+}
+
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0..n)` and returns the results in index order.
+///
+/// With one worker (or one job) this is a plain serial loop; otherwise
+/// the indices are dealt to scoped threads from an atomic counter. Either
+/// way the returned `Vec` is ordered by job index, so folding it
+/// reproduces the serial loop's visit order bit-for-bit — determinism is
+/// the caller's to keep only in `f` itself (no shared mutable state, no
+/// time or thread-id dependence).
+pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                slots.lock().expect("worker panicked holding results")[i] = Some(result);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("worker panicked holding results")
+        .into_iter()
+        .map(|r| r.expect("every index was dealt to exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        let out = run_indexed(64, |i| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = run_indexed(0, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        assert_eq!(run_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn worker_count_is_positive() {
+        assert!(worker_count() >= 1);
+    }
+}

@@ -36,27 +36,42 @@
 //! ```
 
 use crate::gate::Gate;
+use crate::packed::PackedGate;
 
 /// Default batch granularity for chunked bit-parallel runs (16 words per
 /// lane): large enough to amortize the per-gate dispatch over the gate
 /// list, small enough to keep a batch of a many-line circuit in cache.
 pub const BATCH_STATES: usize = 1024;
 
-/// The consecutive inputs `0..total`, chunked [`BATCH_STATES`] at a time
-/// (the shared driver of exhaustive verification and permutation
-/// extraction).
-pub(crate) fn consecutive_batches(total: u64) -> impl Iterator<Item = Vec<u64>> {
+/// The consecutive inputs `0..total` as `(base, count)` ranges, chunked
+/// [`BATCH_STATES`] at a time (the shared driver of exhaustive
+/// verification and permutation extraction). The ranges are pure
+/// arithmetic — no input vector is materialized; callers synthesize the
+/// lanes directly with [`BatchState::load_consecutive`].
+pub(crate) fn consecutive_batches(total: u64) -> impl Iterator<Item = (u64, usize)> {
     let mut base = 0;
     std::iter::from_fn(move || {
         if base >= total {
             return None;
         }
-        let end = (base + BATCH_STATES as u64).min(total);
-        let chunk: Vec<u64> = (base..end).collect();
-        base = end;
-        Some(chunk)
+        let count = (total - base).min(BATCH_STATES as u64) as usize;
+        let range = (base, count);
+        base += count as u64;
+        Some(range)
     })
 }
+
+/// Transposed lane word for value-bit `i` of the 64 consecutive values
+/// starting at a 64-aligned base: bits 0–5 cycle faster than a word, so
+/// their lanes are fixed periodic patterns.
+const LOW_BIT_PATTERNS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
 
 /// In-place 64×64 bit-matrix transpose (masked delta swaps, LSB-first:
 /// bit `c` of `a[r]` ↔ bit `r` of `a[c]`). This is the fast path between
@@ -198,6 +213,40 @@ impl BatchState {
         }
     }
 
+    /// Loads the consecutive values `base..base + num_states` into a
+    /// register of lines without materializing them: value-bit `i` of a
+    /// consecutive run is a closed-form lane word (a fixed periodic
+    /// pattern for bits 0–5, a constant word for higher bits), so each
+    /// lane is synthesized directly — no per-state loop, no transpose,
+    /// no input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 lines are addressed, a line is out of
+    /// range, or `base` is not a multiple of 64 (consecutive loads start
+    /// on a lane-word boundary; `consecutive_batches` guarantees this).
+    pub fn load_consecutive(&mut self, lines: &[usize], base: u64) {
+        assert!(lines.len() <= 64, "register too wide");
+        assert_eq!(base % 64, 0, "consecutive loads start on a word boundary");
+        for &line in lines {
+            assert!(line < self.num_lines, "line {line} out of range");
+        }
+        for (i, &line) in lines.iter().enumerate() {
+            let lane_start = line * self.words_per_line;
+            for w in 0..self.words_per_line {
+                let word_base = base + 64 * w as u64;
+                let word = if let Some(&pattern) = LOW_BIT_PATTERNS.get(i) {
+                    pattern
+                } else if (word_base >> i) & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                };
+                self.lanes[lane_start + w] = word & self.word_mask(w);
+            }
+        }
+    }
+
     /// Reads one output word per state from a register of lines (the
     /// inverse transpose of [`BatchState::load_register`]).
     ///
@@ -243,6 +292,53 @@ impl BatchState {
                 fire &= if c.is_positive() { lane } else { !lane };
             }
             self.lanes[target + w] ^= fire;
+        }
+    }
+
+    /// Applies one packed MPMCT gate to all states at once, reusing a
+    /// caller-provided scratch buffer for the fire mask (one word per
+    /// lane word). Unlike [`BatchState::apply`] this decodes no gate:
+    /// the control lanes named by the packed masks are AND-ed straight
+    /// into `fire`, then XOR-ed into the target lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate references a line outside the batch or the
+    /// scratch buffer is not [`BatchState::words_per_line`] words.
+    pub fn apply_packed(&mut self, gate: &PackedGate<'_>, fire: &mut [u64]) {
+        assert!(
+            gate.target() < self.num_lines,
+            "gate target {} exceeds {} lines",
+            gate.target(),
+            self.num_lines
+        );
+        let wpl = self.words_per_line;
+        assert_eq!(
+            fire.len(),
+            wpl,
+            "scratch buffer holds one word per lane word"
+        );
+        fire.fill(u64::MAX);
+        for c in gate.controls() {
+            let line = c.line();
+            assert!(
+                line < self.num_lines,
+                "control line {line} exceeds the batch"
+            );
+            let lane = &self.lanes[line * wpl..(line + 1) * wpl];
+            if c.is_positive() {
+                for (f, &l) in fire.iter_mut().zip(lane) {
+                    *f &= l;
+                }
+            } else {
+                for (f, &l) in fire.iter_mut().zip(lane) {
+                    *f &= !l;
+                }
+            }
+        }
+        let target = gate.target() * wpl;
+        for (w, f) in fire.iter().enumerate() {
+            self.lanes[target + w] ^= f;
         }
     }
 }
@@ -359,5 +455,65 @@ mod tests {
     fn rejects_out_of_range_gates() {
         let mut b = BatchState::zeros(2, 4);
         b.apply(&Gate::toffoli(0, 1, 2));
+    }
+
+    #[test]
+    fn consecutive_batches_tile_the_range() {
+        let mut expected = 0u64;
+        for (base, count) in consecutive_batches(2 * BATCH_STATES as u64 + 100) {
+            assert_eq!(base, expected, "ranges are contiguous");
+            assert!(count > 0 && count <= BATCH_STATES);
+            expected += count as u64;
+        }
+        assert_eq!(expected, 2 * BATCH_STATES as u64 + 100);
+        assert_eq!(consecutive_batches(0).count(), 0);
+    }
+
+    #[test]
+    fn load_consecutive_matches_the_explicit_transpose() {
+        // A ragged batch (100 states) at a nonzero base, with value bits
+        // on both sides of the 6-bit intra-word boundary.
+        let base = 9 * 64;
+        let lines: Vec<usize> = (0..12).collect();
+        let values: Vec<u64> = (base..base + 100).collect();
+        let mut explicit = BatchState::zeros(12, values.len());
+        explicit.load_register(&lines, &values);
+        let mut direct = BatchState::zeros(12, values.len());
+        direct.load_consecutive(&lines, base);
+        assert_eq!(direct, explicit);
+    }
+
+    #[test]
+    fn load_consecutive_overwrites_previous_contents() {
+        let mut b = BatchState::zeros(3, 70);
+        b.load_register(&[0, 1, 2], &vec![0b111; 70]);
+        b.load_consecutive(&[0, 1, 2], 0);
+        // Only the three register bits land; higher value bits have no
+        // line, so the lane values wrap mod 2^3.
+        assert_eq!(
+            b.read_register(&[0, 1, 2]),
+            (0..70u64).map(|k| k % 8).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "word boundary")]
+    fn load_consecutive_rejects_unaligned_bases() {
+        BatchState::zeros(2, 4).load_consecutive(&[0, 1], 7);
+    }
+
+    #[test]
+    fn packed_apply_agrees_with_gate_apply() {
+        use crate::packed::PackedGateBuf;
+        let g = Gate::mct(vec![Control::positive(0), Control::negative(3)], 2);
+        let packed = PackedGateBuf::from_gate(&g, 1);
+        let inputs: Vec<u64> = (0..100).map(|k| k % 16).collect();
+        let mut by_gate = BatchState::zeros(4, inputs.len());
+        by_gate.load_register(&[0, 1, 2, 3], &inputs);
+        let mut by_mask = by_gate.clone();
+        by_gate.apply(&g);
+        let mut fire = vec![0u64; by_mask.words_per_line()];
+        by_mask.apply_packed(&packed.view(), &mut fire);
+        assert_eq!(by_mask, by_gate);
     }
 }

@@ -1,10 +1,46 @@
 //! Reversible circuits: cascades of MPMCT gates on a fixed set of lines.
+//!
+//! Gates are stored **packed** in a [`GateArena`] (control/polarity mask
+//! words, struct-of-arrays — see [`crate::packed`]); the legacy
+//! [`Gate`] view is materialized only at API boundaries via
+//! [`Circuit::gates`].
 
 use crate::batchsim::{consecutive_batches, BatchState};
 use crate::cost::CircuitCost;
 use crate::gate::{Control, Gate};
+use crate::packed::GateArena;
 use crate::state::BitState;
 use std::fmt;
+
+/// The explicit-permutation width cap: a circuit wider than this cannot
+/// be expanded into a `2^n` table.
+pub const PERMUTATION_LINE_LIMIT: usize = 24;
+
+/// A circuit was too wide for an explicit `2^n` permutation table.
+///
+/// Returned by [`Circuit::permutation`] and
+/// [`crate::equiv::verify_permutation`] instead of aborting the process;
+/// the flow layer surfaces it as a `FlowError` variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TooWideError {
+    /// The circuit's line count.
+    pub lines: usize,
+    /// The cap that was exceeded ([`PERMUTATION_LINE_LIMIT`]).
+    pub limit: usize,
+}
+
+impl fmt::Display for TooWideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit has {} lines; the explicit permutation table is capped at {} lines \
+             (use simulate_batch / verify against an oracle instead)",
+            self.lines, self.limit
+        )
+    }
+}
+
+impl std::error::Error for TooWideError {}
 
 /// A reversible circuit: `num_lines` lines and a gate cascade.
 ///
@@ -19,10 +55,16 @@ use std::fmt;
 /// swap.cnot(0, 1);
 /// assert_eq!(swap.simulate_u64(0b01), 0b10);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Circuit {
     num_lines: usize,
-    gates: Vec<Gate>,
+    arena: GateArena,
+}
+
+impl Default for Circuit {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl Circuit {
@@ -30,7 +72,16 @@ impl Circuit {
     pub fn new(num_lines: usize) -> Self {
         Self {
             num_lines,
-            gates: Vec::new(),
+            arena: GateArena::new(num_lines),
+        }
+    }
+
+    /// Wraps an arena as a circuit (the arena's gates become the
+    /// cascade, its line count the circuit's).
+    pub(crate) fn from_arena(arena: GateArena) -> Self {
+        Self {
+            num_lines: arena.num_lines(),
+            arena,
         }
     }
 
@@ -41,17 +92,33 @@ impl Circuit {
 
     /// Number of gates.
     pub fn num_gates(&self) -> usize {
-        self.gates.len()
+        self.arena.len()
     }
 
-    /// The gate cascade in execution order.
-    pub fn gates(&self) -> &[Gate] {
-        &self.gates
+    /// The gate cascade in execution order, materialized as legacy
+    /// [`Gate`] values (API boundary — allocates; hot paths should walk
+    /// [`Circuit::packed`] instead).
+    pub fn gates(&self) -> Vec<Gate> {
+        self.arena.to_gates()
+    }
+
+    /// The packed struct-of-arrays gate storage (see [`crate::packed`]).
+    pub fn packed(&self) -> &GateArena {
+        &self.arena
+    }
+
+    /// Consumes the circuit into its arena (rewrite passes edit it in
+    /// place and wrap it back up).
+    pub(crate) fn into_arena(self) -> GateArena {
+        self.arena
     }
 
     /// Grows the circuit to at least `num_lines` lines.
     pub fn ensure_lines(&mut self, num_lines: usize) {
-        self.num_lines = self.num_lines.max(num_lines);
+        if num_lines > self.num_lines {
+            self.num_lines = num_lines;
+            self.arena.grow_lines(num_lines);
+        }
     }
 
     /// Appends a gate.
@@ -65,7 +132,7 @@ impl Circuit {
             "gate {gate} exceeds {} lines",
             self.num_lines
         );
-        self.gates.push(gate);
+        self.arena.push(&gate);
     }
 
     /// Appends a NOT gate.
@@ -102,7 +169,9 @@ impl Circuit {
     /// Panics if `other` uses more lines than `self`.
     pub fn extend_from(&mut self, other: &Circuit) {
         assert!(other.num_lines <= self.num_lines, "line-space mismatch");
-        self.gates.extend_from_slice(&other.gates);
+        for (_, g) in other.arena.iter() {
+            self.arena.push_view(g);
+        }
     }
 
     /// Appends `other` with its line `i` mapped onto `map[i]`.
@@ -112,7 +181,7 @@ impl Circuit {
     /// Panics if the map is too short or maps outside this circuit.
     pub fn extend_remapped(&mut self, other: &Circuit, map: &[usize]) {
         assert!(map.len() >= other.num_lines, "map too short");
-        for g in &other.gates {
+        for g in other.gates() {
             self.add_gate(g.remapped(map));
         }
     }
@@ -121,16 +190,21 @@ impl Circuit {
     /// the reversed cascade.
     #[must_use]
     pub fn inverse(&self) -> Circuit {
+        let mut arena = GateArena::new(self.num_lines);
+        let ids: Vec<usize> = self.arena.iter().map(|(id, _)| id).collect();
+        for &id in ids.iter().rev() {
+            arena.push_view(self.arena.gate(id));
+        }
         Circuit {
             num_lines: self.num_lines,
-            gates: self.gates.iter().rev().cloned().collect(),
+            arena,
         }
     }
 
     /// Simulates the circuit on a state (in place).
     pub fn apply(&self, state: &mut BitState) {
-        for g in &self.gates {
-            state.apply(g);
+        for (_, g) in self.arena.iter() {
+            state.apply_packed(&g);
         }
     }
 
@@ -141,15 +215,24 @@ impl Circuit {
     /// Panics if the circuit has more than 64 lines.
     pub fn simulate_u64(&self, input: u64) -> u64 {
         assert!(self.num_lines <= 64, "too many lines for u64 simulation");
-        self.gates.iter().fold(input, |s, g| g.apply_u64(s))
+        let mut s = input;
+        for (_, g) in self.arena.iter() {
+            if g.fires_u64(s) {
+                s ^= 1 << g.target();
+            }
+        }
+        s
     }
 
     /// Simulates the circuit on a batch of states (in place), applying
     /// each gate to all states at once via the transposed bit-parallel
-    /// representation of [`BatchState`].
+    /// representation of [`BatchState`]: the control lanes are AND-ed
+    /// word-by-word into one reused fire buffer, then XOR-ed into the
+    /// target lane — no per-gate decoding or allocation.
     pub fn apply_batch(&self, state: &mut BatchState) {
-        for g in &self.gates {
-            state.apply(g);
+        let mut fire = vec![0u64; state.words_per_line()];
+        for (_, g) in self.arena.iter() {
+            state.apply_packed(&g, &mut fire);
         }
     }
 
@@ -172,27 +255,35 @@ impl Circuit {
     }
 
     /// The permutation the circuit realizes over all `2^n` basis states,
-    /// computed in bit-parallel batches.
+    /// computed in bit-parallel batches. The consecutive input blocks are
+    /// synthesized directly into the batch lanes
+    /// ([`BatchState::load_consecutive`]) — no input vector is ever
+    /// materialized.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the circuit has more than 24 lines: the explicit table
-    /// would not fit in memory, and for ≥ 64 lines the `2^n` size
-    /// computation would silently wrap in release builds (returning a
-    /// one-entry "permutation" at exactly 64 lines).
-    pub fn permutation(&self) -> Vec<u64> {
-        assert!(
-            self.num_lines <= 24,
-            "permutation(): circuit has {} lines; the explicit table is capped at 24 lines \
-             (use simulate_batch / verify against an oracle instead)",
-            self.num_lines
-        );
-        let size = 1u64 << self.num_lines;
-        let mut perm = Vec::with_capacity(size as usize);
-        for inputs in consecutive_batches(size) {
-            perm.extend(self.simulate_batch(&inputs));
+    /// Returns [`TooWideError`] if the circuit has more than
+    /// [`PERMUTATION_LINE_LIMIT`] lines: the explicit table would not fit
+    /// in memory, and for ≥ 64 lines the `2^n` size computation would
+    /// silently wrap in release builds (returning a one-entry
+    /// "permutation" at exactly 64 lines).
+    pub fn permutation(&self) -> Result<Vec<u64>, TooWideError> {
+        if self.num_lines > PERMUTATION_LINE_LIMIT {
+            return Err(TooWideError {
+                lines: self.num_lines,
+                limit: PERMUTATION_LINE_LIMIT,
+            });
         }
-        perm
+        let size = 1u64 << self.num_lines;
+        let all_lines: Vec<usize> = (0..self.num_lines).collect();
+        let mut perm = Vec::with_capacity(size as usize);
+        for (base, count) in consecutive_batches(size) {
+            let mut state = BatchState::zeros(self.num_lines, count);
+            state.load_consecutive(&all_lines, base);
+            self.apply_batch(&mut state);
+            perm.extend(state.read_register(&all_lines));
+        }
+        Ok(perm)
     }
 
     /// Cost summary.
@@ -204,7 +295,7 @@ impl Circuit {
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "circuit on {} lines:", self.num_lines)?;
-        for g in &self.gates {
+        for g in self.gates() {
             writeln!(f, "  {g}")?;
         }
         Ok(())
@@ -361,7 +452,7 @@ mod tests {
         c.toffoli(0, 1, 2);
         c.cnot(2, 0);
         c.not(1);
-        let perm = c.permutation();
+        let perm = c.permutation().expect("3 lines is within the cap");
         let mut seen = [false; 8];
         for &y in &perm {
             assert!(!seen[y as usize], "not a permutation");

@@ -69,13 +69,15 @@ pub struct CircuitCost {
 }
 
 impl CircuitCost {
-    /// Costs a circuit.
+    /// Costs a circuit. Walks the packed arena directly: the control
+    /// count of each gate is a popcount over its control mask words, so
+    /// no gate is ever materialized.
     pub fn of(circuit: &Circuit) -> Self {
         let mut cost = CircuitCost {
             qubits: circuit.num_lines(),
             ..Default::default()
         };
-        for g in circuit.gates() {
+        for (_, g) in circuit.packed() {
             cost.gates += 1;
             let c = g.num_controls();
             match c {

@@ -23,7 +23,7 @@
 //! [`VerifyOutcome::Verified`] without checking anything.)
 
 use crate::batchsim::{consecutive_batches, BatchState, BATCH_STATES};
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, TooWideError, PERMUTATION_LINE_LIMIT};
 use crate::state::BitState;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -158,9 +158,9 @@ fn lanes_equal(state: &BatchState, a: &[u64], b: &[u64]) -> bool {
         .all(|(w, (x, y))| (x ^ y) & state.word_mask(w) == 0)
 }
 
-/// Checks one batch of inputs bit-parallel; on any discrepancy the batch
-/// is replayed scalar, in order, so the reported witness is exactly the
-/// one a pure scalar run would find.
+/// Checks one batch of arbitrary inputs bit-parallel (the sampling
+/// path); on any discrepancy the batch is replayed scalar, in order, so
+/// the reported witness is exactly the one a pure scalar run would find.
 fn check_batch<F: Fn(u64) -> u64>(
     circuit: &Circuit,
     input_lines: &[usize],
@@ -171,6 +171,57 @@ fn check_batch<F: Fn(u64) -> u64>(
 ) -> VerifyOutcome {
     let mut state = BatchState::zeros(circuit.num_lines(), inputs.len());
     state.load_register(input_lines, inputs);
+    check_loaded_batch(
+        circuit,
+        input_lines,
+        output_lines,
+        oracle,
+        options,
+        state,
+        inputs.iter().copied(),
+    )
+}
+
+/// Checks the consecutive inputs `base..base + count` bit-parallel. The
+/// inputs are never materialized: the lanes are synthesized in place by
+/// [`BatchState::load_consecutive`].
+fn check_consecutive_batch<F: Fn(u64) -> u64>(
+    circuit: &Circuit,
+    input_lines: &[usize],
+    output_lines: &[usize],
+    oracle: &F,
+    options: &VerifyOptions,
+    base: u64,
+    count: usize,
+) -> VerifyOutcome {
+    let mut state = BatchState::zeros(circuit.num_lines(), count);
+    state.load_consecutive(input_lines, base);
+    check_loaded_batch(
+        circuit,
+        input_lines,
+        output_lines,
+        oracle,
+        options,
+        state,
+        base..base + count as u64,
+    )
+}
+
+/// The shared tail of the two batch checkers: runs a loaded batch and,
+/// on any discrepancy, replays the same inputs scalar, in order.
+fn check_loaded_batch<F, I>(
+    circuit: &Circuit,
+    input_lines: &[usize],
+    output_lines: &[usize],
+    oracle: &F,
+    options: &VerifyOptions,
+    mut state: BatchState,
+    inputs: I,
+) -> VerifyOutcome
+where
+    F: Fn(u64) -> u64,
+    I: Iterator<Item = u64> + Clone,
+{
     // Snapshot the lanes the preserved-inputs check compares against.
     let preserved: Vec<(usize, Vec<u64>)> = if options.check_inputs_preserved {
         input_lines
@@ -184,7 +235,10 @@ fn check_batch<F: Fn(u64) -> u64>(
     circuit.apply_batch(&mut state);
 
     let actual = state.read_register(output_lines);
-    let mut clean = actual.iter().zip(inputs).all(|(&a, &x)| a == oracle(x));
+    let mut clean = actual
+        .iter()
+        .zip(inputs.clone())
+        .all(|(&a, x)| a == oracle(x));
     if clean {
         clean = preserved
             .iter()
@@ -199,7 +253,7 @@ fn check_batch<F: Fn(u64) -> u64>(
     if clean {
         return VerifyOutcome::Verified;
     }
-    for &x in inputs {
+    for x in inputs {
         let r = check_scalar(circuit, input_lines, output_lines, oracle, options, x);
         if !r.is_ok() {
             return r;
@@ -237,14 +291,15 @@ pub fn verify_computes<F: Fn(u64) -> u64>(
     if n < 64 && n <= options.exhaustive_limit {
         let total = 1u64 << n;
         if options.batch {
-            for inputs in consecutive_batches(total) {
-                let r = check_batch(
+            for (base, count) in consecutive_batches(total) {
+                let r = check_consecutive_batch(
                     circuit,
                     input_lines,
                     output_lines,
                     &oracle,
                     options,
-                    &inputs,
+                    base,
+                    count,
                 );
                 if !r.is_ok() {
                     return r;
@@ -298,19 +353,26 @@ pub fn verify_computes<F: Fn(u64) -> u64>(
 /// Checks that a circuit realizes a given permutation over **all** its
 /// lines (used by transformation-based synthesis, whose specification is a
 /// reversible function on the full line space). Runs in bit-parallel
-/// batches; a mismatch witness is re-confirmed by scalar simulation.
+/// batches over lanes synthesized in place
+/// ([`BatchState::load_consecutive`]); a mismatch witness is re-confirmed
+/// by scalar simulation.
+///
+/// # Errors
+///
+/// Returns [`TooWideError`] if the circuit has more than
+/// [`PERMUTATION_LINE_LIMIT`] lines (the exhaustive table would not fit —
+/// and a `2^n` size computed at ≥ 64 lines would wrap).
 ///
 /// # Panics
 ///
-/// Panics if the circuit has more than 24 lines (the exhaustive table
-/// would not fit — and a `2^n` size computed at ≥ 64 lines would wrap),
-/// or if `perm` does not have exactly `2^n` entries.
-pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> VerifyOutcome {
-    assert!(
-        circuit.num_lines() <= 24,
-        "verify_permutation: circuit has {} lines; the exhaustive check is capped at 24 lines",
-        circuit.num_lines()
-    );
+/// Panics if `perm` does not have exactly `2^n` entries.
+pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> Result<VerifyOutcome, TooWideError> {
+    if circuit.num_lines() > PERMUTATION_LINE_LIMIT {
+        return Err(TooWideError {
+            lines: circuit.num_lines(),
+            limit: PERMUTATION_LINE_LIMIT,
+        });
+    }
     let size = 1u64 << circuit.num_lines();
     assert!(
         perm.len() as u64 == size,
@@ -318,9 +380,13 @@ pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> VerifyOutcome {
         perm.len(),
         circuit.num_lines()
     );
-    for inputs in consecutive_batches(size) {
-        let actual = circuit.simulate_batch(&inputs);
-        for (k, &input) in inputs.iter().enumerate() {
+    let all_lines: Vec<usize> = (0..circuit.num_lines()).collect();
+    for (base, count) in consecutive_batches(size) {
+        let mut state = BatchState::zeros(circuit.num_lines(), count);
+        state.load_consecutive(&all_lines, base);
+        circuit.apply_batch(&mut state);
+        let actual = state.read_register(&all_lines);
+        for (k, input) in (base..base + count as u64).enumerate() {
             let expected = perm[input as usize];
             if actual[k] != expected {
                 // Scalar re-run: report a witness independent of the
@@ -335,15 +401,15 @@ pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> VerifyOutcome {
                      but scalar simulation agrees with the permutation",
                     actual[k]
                 );
-                return VerifyOutcome::Mismatch {
+                return Ok(VerifyOutcome::Mismatch {
                     input,
                     expected,
                     actual: scalar,
-                };
+                });
             }
         }
     }
-    VerifyOutcome::Verified
+    Ok(VerifyOutcome::Verified)
 }
 
 #[cfg(test)]
@@ -556,11 +622,11 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cnot(0, 1);
         let perm: Vec<u64> = vec![0b00, 0b11, 0b10, 0b01];
-        assert_eq!(verify_permutation(&c, &perm), VerifyOutcome::Verified);
+        assert_eq!(verify_permutation(&c, &perm), Ok(VerifyOutcome::Verified));
         let wrong: Vec<u64> = vec![0, 1, 2, 3];
         assert!(matches!(
             verify_permutation(&c, &wrong),
-            VerifyOutcome::Mismatch { .. }
+            Ok(VerifyOutcome::Mismatch { .. })
         ));
     }
 
@@ -569,13 +635,13 @@ mod tests {
         // 11 lines = 2048 states > one 1024-state batch.
         let mut c = Circuit::new(11);
         c.cnot(0, 10);
-        let perm = c.permutation();
-        assert_eq!(verify_permutation(&c, &perm), VerifyOutcome::Verified);
+        let perm = c.permutation().expect("11 lines is within the cap");
+        assert_eq!(verify_permutation(&c, &perm), Ok(VerifyOutcome::Verified));
         let mut wrong = perm;
         wrong.swap(1500, 1501);
         let out = verify_permutation(&c, &wrong);
         assert!(
-            matches!(out, VerifyOutcome::Mismatch { input: 1500, .. }),
+            matches!(out, Ok(VerifyOutcome::Mismatch { input: 1500, .. })),
             "{out:?}"
         );
     }
@@ -588,9 +654,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capped at 24 lines")]
-    fn permutation_check_rejects_wide_circuits() {
+    fn permutation_check_rejects_wide_circuits_with_a_typed_error() {
         let c = Circuit::new(64);
-        let _ = verify_permutation(&c, &[0]);
+        assert_eq!(
+            verify_permutation(&c, &[0]),
+            Err(TooWideError {
+                lines: 64,
+                limit: PERMUTATION_LINE_LIMIT
+            })
+        );
     }
 }

@@ -5,6 +5,9 @@
 //!
 //! * [`gate::Gate`] / [`circuit::Circuit`] — the reversible-circuit IR all
 //!   synthesis back-ends emit,
+//! * [`packed`] — the packed-mask struct-of-arrays gate storage behind
+//!   [`circuit::Circuit`]: control/polarity bit masks instead of per-gate
+//!   control vectors, with O(1) firing/support/commutation tests,
 //! * [`cost`] — T-count and qubit accounting (the paper's two cost axes),
 //! * [`state`] / [`batchsim`] / [`equiv`] — bit-exact scalar and 64-way
 //!   bit-parallel simulation, and equivalence checking on top of them
@@ -40,16 +43,18 @@ pub mod equiv;
 pub mod gate;
 pub mod io;
 pub mod opt;
+pub mod packed;
 pub mod resynth;
 pub mod state;
 #[cfg(feature = "testkit")]
 pub mod testkit;
 
 pub use batchsim::BatchState;
-pub use circuit::{Circuit, LineAllocator};
+pub use circuit::{Circuit, LineAllocator, TooWideError};
 pub use cost::CircuitCost;
 pub use gate::{Control, Gate};
 pub use opt::{optimize, optimize_checked, OptOptions, OptStats};
+pub use packed::{GateArena, PackedGate, PackedGateBuf};
 pub use resynth::{
     resynthesize, resynthesize_checked, ResynthOptions, ResynthStats, Resynthesized,
     WindowSynthesizer,

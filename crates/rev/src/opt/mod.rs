@@ -31,14 +31,24 @@
 //!   ([`equivalence_witness_assuming`]) checks exactly the assumed state
 //!   space — all states with the assumed lines at zero.
 //!
-//! Scans are bounded by [`OptOptions::window`] live gates, and every
-//! rewrite requeues only its neighbourhood, keeping the whole pass
-//! near-linear in circuit size. Every rule preserves the function on the
-//! **full line space** — ancillae and garbage lines included — and
-//! [`optimize_checked`] machine-checks exactly that with the bit-parallel
-//! [`crate::batchsim`] engine: exhaustively up to
-//! [`EXHAUSTIVE_LINE_LIMIT`] lines, with [`SAMPLED_STATES`] random states
-//! above.
+//! The pass first splits the cascade into **support-connected
+//! components** (union-find over lines): gates in different components
+//! commute trivially, so each component's worklist runs independently —
+//! serially or sharded over [`qda_logic::par`] worker threads
+//! (`QDA_WORKERS`) — and the survivors are merged back in original gate
+//! order. Serial and parallel runs are byte-identical by construction.
+//! Within a component, scans are bounded by [`OptOptions::window`] live
+//! gates of that component, and every rewrite requeues only its
+//! neighbourhood, keeping the whole pass near-linear in circuit size.
+//! All gate storage is the packed [`crate::packed::GateArena`]:
+//! commutation, conflict and the merge templates are whole-word mask
+//! operations, never control-vector walks.
+//!
+//! Every rule preserves the function on the **full line space** —
+//! ancillae and garbage lines included — and [`optimize_checked`]
+//! machine-checks exactly that with the bit-parallel [`crate::batchsim`]
+//! engine: exhaustively up to [`EXHAUSTIVE_LINE_LIMIT`] lines, with
+//! [`SAMPLED_STATES`] random states above.
 //!
 //! # Example
 //!
@@ -63,16 +73,15 @@
 //! ```
 
 pub mod rules;
-pub mod window;
 
 use crate::batchsim::{consecutive_batches, BatchState, BATCH_STATES};
 use crate::circuit::Circuit;
-use crate::gate::Gate;
+use crate::packed::{GateArena, PackedGateBuf};
+use qda_logic::par;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rules::{MergeRule, RewriteCost};
 use std::collections::VecDeque;
 use std::fmt;
-use window::{GateList, NIL};
 
 /// Circuits with at most this many lines are equivalence-checked
 /// exhaustively over all `2^n` basis states; wider circuits are sampled.
@@ -135,6 +144,17 @@ impl OptStats {
             + self.const_dead
             + self.const_drops
     }
+
+    /// Adds another run's counters (used to fold per-component results).
+    fn absorb(&mut self, other: &OptStats) {
+        self.cancellations += other.cancellations;
+        self.polarity_merges += other.polarity_merges;
+        self.subset_merges += other.subset_merges;
+        self.not_absorptions += other.not_absorptions;
+        self.const_dead += other.const_dead;
+        self.const_drops += other.const_drops;
+        self.rejected += other.rejected;
+    }
 }
 
 /// Result of an optimizer run.
@@ -153,7 +173,7 @@ enum Rewrite {
     /// Gates `i` and `j` fuse into `gate` at `j`'s position; `i` dies.
     Merge {
         j: usize,
-        gate: Gate,
+        gate: PackedGateBuf,
         rule: MergeRule,
     },
     /// NOT gates `i` and `j` annihilate after flipping the control
@@ -167,29 +187,33 @@ enum Rewrite {
 /// refused partner must not mask an acceptable one later in the window.
 /// (Both match shapes share the scanned gate's target, so the commuting
 /// walk always carries past a refusal.)
-fn find_rewrite(list: &GateList, i: usize, window: usize, rejected: &mut u64) -> Option<Rewrite> {
-    let g = list.gate(i);
+fn find_rewrite(arena: &GateArena, i: usize, window: usize, rejected: &mut u64) -> Option<Rewrite> {
+    let g = arena.gate(i);
     // Cancellation / control-merge: walk right while `g` commutes with
     // everything in between, so the partner can be made adjacent.
-    let mut j = list.next_live(i);
+    let mut next = arena.next_live(i);
     let mut steps = 0;
-    while j != NIL && steps < window {
-        let h = list.gate(j);
+    while let Some(j) = next {
+        if steps >= window {
+            break;
+        }
+        let h = arena.gate(j);
         if g == h {
-            if RewriteCost::of(&[g, h], &[]).accepted() {
+            if RewriteCost::of_controls(&[g.num_controls(), h.num_controls()], &[]).accepted() {
                 return Some(Rewrite::Cancel { j });
             }
             *rejected += 1;
-        } else if let Some((gate, rule)) = rules::merge(g, h) {
-            if RewriteCost::of(&[g, h], &[&gate]).accepted() {
+        } else if let Some((gate, rule)) = rules::merge_packed(&g, &h) {
+            let counts = [g.num_controls(), h.num_controls()];
+            if RewriteCost::of_controls(&counts, &[gate.view().num_controls()]).accepted() {
                 return Some(Rewrite::Merge { j, gate, rule });
             }
             *rejected += 1;
         }
-        if !rules::commutes(g, h) {
+        if !g.commutes_with(&h) {
             break;
         }
-        j = list.next_live(j);
+        next = arena.next_live(j);
         steps += 1;
     }
     // NOT-propagation: an X on line `l` passes *any* gate — unchanged
@@ -199,13 +223,16 @@ fn find_rewrite(list: &GateList, i: usize, window: usize, rejected: &mut u64) ->
     if g.num_controls() == 0 {
         let l = g.target();
         let mut flips = Vec::new();
-        let mut j = list.next_live(i);
+        let mut next = arena.next_live(i);
         let mut steps = 0;
-        while j != NIL && steps < window {
-            let h = list.gate(j);
+        while let Some(j) = next {
+            if steps >= window {
+                break;
+            }
+            let h = arena.gate(j);
             if h.num_controls() == 0 {
                 if h.target() == l {
-                    if RewriteCost::of(&[g, h], &[]).accepted() {
+                    if RewriteCost::of_controls(&[0, 0], &[]).accepted() {
                         return Some(Rewrite::NotAbsorb { j, flips });
                     }
                     *rejected += 1;
@@ -213,7 +240,7 @@ fn find_rewrite(list: &GateList, i: usize, window: usize, rejected: &mut u64) ->
             } else if h.control_on(l).is_some() {
                 flips.push(j);
             }
-            j = list.next_live(j);
+            next = arena.next_live(j);
             steps += 1;
         }
     }
@@ -250,18 +277,18 @@ pub fn optimize_assuming(
 ) -> Optimized {
     let window = options.window.max(1);
     let mut stats = OptStats::default();
-    let mut gates: Vec<Gate> = circuit.gates().to_vec();
+    let mut arena = circuit.clone().into_arena();
     let mut first = true;
     loop {
         let before_const = stats.total_rewrites();
         if !zero_lines.is_empty() {
-            gates = const_prop_pass(&gates, circuit.num_lines(), zero_lines, &mut stats);
+            const_prop_pass(&mut arena, zero_lines, &mut stats);
         }
         let const_changed = stats.total_rewrites() != before_const;
         if !first && !const_changed {
             break;
         }
-        gates = peephole_pass(&gates, window, &mut stats);
+        arena = peephole_pass(&arena, window, &mut stats);
         first = false;
         if zero_lines.is_empty() {
             // No const rules in play: the peephole pass alone reaches its
@@ -269,10 +296,7 @@ pub fn optimize_assuming(
             break;
         }
     }
-    let mut out = Circuit::new(circuit.num_lines());
-    for g in gates {
-        out.add_gate(g);
-    }
+    let out = Circuit::from_arena(arena);
     let (before, after) = (circuit.cost(), out.cost());
     assert!(
         after.t_count <= before.t_count && after.gates <= before.gates,
@@ -305,90 +329,184 @@ impl ConstVal {
     }
 }
 
-/// One forward constant-propagation sweep: walks the cascade tracking a
-/// [`ConstVal`] per line (lines in `zero_lines` start at
+/// One forward constant-propagation sweep over the arena: walks the live
+/// gates tracking a [`ConstVal`] per line (lines in `zero_lines` start at
 /// [`ConstVal::Zero`], everything else at [`ConstVal::Top`]), removing
-/// gates whose control set is provably unsatisfiable and dropping
-/// provably satisfied controls. Counts land in `stats.const_dead` /
-/// `stats.const_drops`.
-fn const_prop_pass(
-    gates: &[Gate],
-    num_lines: usize,
-    zero_lines: &[usize],
-    stats: &mut OptStats,
-) -> Vec<Gate> {
-    let mut vals = vec![ConstVal::Top; num_lines];
+/// gates whose control set is provably unsatisfiable and clearing
+/// provably satisfied control bits in place. Counts land in
+/// `stats.const_dead` / `stats.const_drops`.
+fn const_prop_pass(arena: &mut GateArena, zero_lines: &[usize], stats: &mut OptStats) {
+    let mut vals = vec![ConstVal::Top; arena.num_lines()];
     for &l in zero_lines {
         vals[l] = ConstVal::Zero;
     }
-    let mut out = Vec::with_capacity(gates.len());
-    'gates: for g in gates {
+    let mut cur = arena.first();
+    while let Some(i) = cur {
+        cur = arena.next_live(i);
+        let g = arena.gate(i);
+        let target = g.target();
+        let mut dead = false;
         let mut drops: Vec<usize> = Vec::new();
         for c in g.controls() {
             match (vals[c.line()], c.is_positive()) {
                 // Control can never be satisfied: the gate never fires.
                 (ConstVal::Zero, true) | (ConstVal::One, false) => {
-                    stats.const_dead += 1;
-                    continue 'gates;
+                    dead = true;
+                    break;
                 }
                 // Control is always satisfied: it carries no information.
                 (ConstVal::Zero, false) | (ConstVal::One, true) => drops.push(c.line()),
                 (ConstVal::Top, _) => {}
             }
         }
-        let gate = if drops.is_empty() {
-            g.clone()
-        } else {
+        if dead {
+            stats.const_dead += 1;
+            arena.remove(i);
+            continue;
+        }
+        let controls_left = g.num_controls() - drops.len();
+        if !drops.is_empty() {
             stats.const_drops += drops.len() as u64;
-            let mut gate = g.clone();
-            for l in drops {
-                gate = gate.without_control(l);
+            let mut ctrl = g.ctrl_words().to_vec();
+            let mut pol = g.pol_words().to_vec();
+            for &l in &drops {
+                ctrl[l >> 6] &= !(1u64 << (l & 63));
+                pol[l >> 6] &= !(1u64 << (l & 63));
             }
-            gate
-        };
-        vals[gate.target()] = if gate.num_controls() == 0 {
-            vals[gate.target()].flipped()
+            let t = u32::try_from(target).expect("line counts fit u32");
+            arena.replace(i, &PackedGateBuf::from_masks(ctrl, pol, t));
+        }
+        vals[target] = if controls_left == 0 {
+            vals[target].flipped()
         } else {
             ConstVal::Top
         };
-        out.push(gate);
+    }
+}
+
+/// A plain union-find over circuit lines, used to split a cascade into
+/// support-connected components.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] != r {
+            r = self.parent[r];
+        }
+        let mut c = x;
+        while self.parent[c] != r {
+            let next = self.parent[c];
+            self.parent[c] = r;
+            c = next;
+        }
+        r
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// The worklist-driven peephole core shared by [`optimize`] and
+/// [`optimize_assuming`]: splits the cascade into support-connected
+/// components, runs the cancellation/merge/NOT-propagation catalogue on
+/// each component's worklist to its fixpoint — components are
+/// independent jobs sharded over [`par::run_indexed`] — and merges the
+/// survivors back in original gate order. Gates in different components
+/// have disjoint supports, so every interleaving of their survivors is
+/// equivalent; the original-order merge makes the result canonical and
+/// worker-count-independent.
+fn peephole_pass(arena: &GateArena, window: usize, stats: &mut OptStats) -> GateArena {
+    let ids: Vec<usize> = arena.iter().map(|(id, _)| id).collect();
+    let mut uf = UnionFind::new(arena.num_lines());
+    for &id in &ids {
+        let g = arena.gate(id);
+        let t = g.target();
+        for c in g.controls() {
+            uf.union(t, c.line());
+        }
+    }
+    // Group gate order-keys by component, components numbered in order
+    // of first appearance (deterministic, independent of worker count).
+    let mut comp_of_root: Vec<Option<usize>> = vec![None; arena.num_lines().max(1)];
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    for (key, &id) in ids.iter().enumerate() {
+        let root = uf.find(arena.gate(id).target());
+        let ci = *comp_of_root[root].get_or_insert_with(|| {
+            components.push(Vec::new());
+            components.len() - 1
+        });
+        components[ci].push(key);
+    }
+    let results = par::run_indexed(components.len(), |ci| {
+        let keys = &components[ci];
+        let mut sub = GateArena::new(arena.num_lines());
+        for &k in keys {
+            sub.push_view(arena.gate(ids[k]));
+        }
+        let mut local = OptStats::default();
+        run_worklist(&mut sub, window, &mut local);
+        let survivors: Vec<(usize, PackedGateBuf)> = sub
+            .iter()
+            .map(|(id, g)| (keys[id], PackedGateBuf::from_view(g)))
+            .collect();
+        (survivors, local)
+    });
+    let mut all: Vec<(usize, PackedGateBuf)> = Vec::new();
+    for (survivors, local) in results {
+        all.extend(survivors);
+        stats.absorb(&local);
+    }
+    all.sort_by_key(|&(k, _)| k);
+    let mut out = GateArena::new(arena.num_lines());
+    for (_, buf) in &all {
+        out.push_buf(buf);
     }
     out
 }
 
-/// The worklist-driven peephole core shared by [`optimize`] and
-/// [`optimize_assuming`]: runs the cancellation/merge/NOT-propagation
-/// catalogue on a gate list to its fixpoint.
-fn peephole_pass(gates: &[Gate], window: usize, stats: &mut OptStats) -> Vec<Gate> {
-    let mut list = GateList::new(gates);
-    let n = gates.len();
+/// Runs one component's worklist to its fixpoint (in place).
+fn run_worklist(arena: &mut GateArena, window: usize, stats: &mut OptStats) {
+    let n = arena.len();
     let mut queue: VecDeque<usize> = (0..n).collect();
     let mut queued = vec![true; n];
     while let Some(i) = queue.pop_front() {
         queued[i] = false;
-        if !list.is_live(i) {
+        if !arena.is_live(i) {
             continue;
         }
-        let Some(rewrite) = find_rewrite(&list, i, window, &mut stats.rejected) else {
+        let Some(rewrite) = find_rewrite(arena, i, window, &mut stats.rejected) else {
             continue;
         };
         // A rewrite shortens live distances for every gate whose forward
         // window reaches a changed position, so requeue the windows
         // before both sites (collected before the sites disappear).
-        let mut requeue = list.window_before(i, window);
+        let mut requeue = arena.window_before(i, window);
         let j = match &rewrite {
             Rewrite::Cancel { j } | Rewrite::Merge { j, .. } | Rewrite::NotAbsorb { j, .. } => *j,
         };
-        requeue.extend(list.window_before(j, window));
+        requeue.extend(arena.window_before(j, window));
         match rewrite {
             Rewrite::Cancel { j } => {
-                list.remove(i);
-                list.remove(j);
+                arena.remove(i);
+                arena.remove(j);
                 stats.cancellations += 1;
             }
             Rewrite::Merge { j, gate, rule } => {
-                list.remove(i);
-                list.replace(j, gate);
+                arena.remove(i);
+                arena.replace(j, &gate);
                 requeue.push(j);
                 match rule {
                     MergeRule::Polarity => stats.polarity_merges += 1,
@@ -396,25 +514,23 @@ fn peephole_pass(gates: &[Gate], window: usize, stats: &mut OptStats) -> Vec<Gat
                 }
             }
             Rewrite::NotAbsorb { j, flips } => {
-                let line = list.gate(i).target();
-                list.remove(i);
-                list.remove(j);
+                let line = arena.gate(i).target();
+                arena.remove(i);
+                arena.remove(j);
                 for &f in &flips {
-                    let flipped = list.gate(f).with_flipped_control(line);
-                    list.replace(f, flipped);
+                    arena.flip_polarity(f, line);
                 }
                 requeue.extend(flips);
                 stats.not_absorptions += 1;
             }
         }
         for id in requeue {
-            if list.is_live(id) && !queued[id] {
+            if arena.is_live(id) && !queued[id] {
                 queued[id] = true;
                 queue.push_back(id);
             }
         }
     }
-    list.to_gates()
 }
 
 /// Witness that an optimized circuit diverged from its original: one
@@ -460,10 +576,16 @@ pub fn equivalence_witness(original: &Circuit, optimized: &Circuit) -> Option<Op
     );
     let n = original.num_lines();
     if n <= EXHAUSTIVE_LINE_LIMIT {
-        for inputs in consecutive_batches(1u64 << n) {
-            let a = original.simulate_batch(&inputs);
-            let b = optimized.simulate_batch(&inputs);
-            for (k, &x) in inputs.iter().enumerate() {
+        let all_lines: Vec<usize> = (0..n).collect();
+        for (base, count) in consecutive_batches(1u64 << n) {
+            let mut sa = BatchState::zeros(n, count);
+            sa.load_consecutive(&all_lines, base);
+            let mut sb = sa.clone();
+            original.apply_batch(&mut sa);
+            optimized.apply_batch(&mut sb);
+            let a = sa.read_register(&all_lines);
+            let b = sb.read_register(&all_lines);
+            for (k, x) in (base..base + count as u64).enumerate() {
                 if a[k] != b[k] {
                     return Some(OptMismatch {
                         input: vec![x],
@@ -553,13 +675,9 @@ pub fn equivalence_witness_assuming(
     let free_lines: Vec<usize> = (0..n).filter(|&l| !zero[l]).collect();
     let all_lines: Vec<usize> = (0..n).collect();
     let chunks: Vec<&[usize]> = all_lines.chunks(64).collect();
-    // Compares one batch of start states (given as per-free-chunk value
-    // vectors) and returns a witness on the first divergence.
-    let run_batch = |free_chunks: &[&[usize]], values: &[Vec<u64>], take: usize| {
-        let mut sa = BatchState::zeros(n, take);
-        for (lines, vals) in free_chunks.iter().zip(values) {
-            sa.load_register(lines, vals);
-        }
+    // Compares one batch of prepared start states and returns a witness
+    // on the first divergence.
+    let run_batch = |mut sa: BatchState, take: usize| {
         let mut sb = sa.clone();
         let ins: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
         original.apply_batch(&mut sa);
@@ -579,10 +697,10 @@ pub fn equivalence_witness_assuming(
         })
     };
     if free_lines.len() <= EXHAUSTIVE_LINE_LIMIT {
-        let free: &[usize] = &free_lines;
-        for inputs in consecutive_batches(1u64 << free_lines.len()) {
-            let take = inputs.len();
-            if let Some(w) = run_batch(&[free], &[inputs], take) {
+        for (base, count) in consecutive_batches(1u64 << free_lines.len()) {
+            let mut sa = BatchState::zeros(n, count);
+            sa.load_consecutive(&free_lines, base);
+            if let Some(w) = run_batch(sa, count) {
                 return Some(w);
             }
         }
@@ -593,18 +711,17 @@ pub fn equivalence_witness_assuming(
     let mut remaining = SAMPLED_STATES;
     while remaining > 0 {
         let take = remaining.min(BATCH_STATES as u64) as usize;
-        let values: Vec<Vec<u64>> = free_chunks
-            .iter()
-            .map(|lines| {
-                let mask = if lines.len() == 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << lines.len()) - 1
-                };
-                (0..take).map(|_| rng.gen::<u64>() & mask).collect()
-            })
-            .collect();
-        if let Some(w) = run_batch(&free_chunks, &values, take) {
+        let mut sa = BatchState::zeros(n, take);
+        for lines in &free_chunks {
+            let mask = if lines.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << lines.len()) - 1
+            };
+            let values: Vec<u64> = (0..take).map(|_| rng.gen::<u64>() & mask).collect();
+            sa.load_register(lines, &values);
+        }
+        if let Some(w) = run_batch(sa, take) {
             return Some(w);
         }
         remaining -= take as u64;
@@ -646,7 +763,7 @@ pub fn optimize_checked_assuming(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gate::Control;
+    use crate::gate::{Control, Gate};
 
     fn opts() -> OptOptions {
         OptOptions::default()
@@ -725,16 +842,61 @@ mod tests {
 
     #[test]
     fn window_bounds_the_partner_search() {
+        // The spacers all read line 0, so the whole cascade is one
+        // support-connected component — the window bound, which counts
+        // live gates of the component, is what keeps the pair apart.
+        // They commute with the Toffoli pair (disjoint targets, no
+        // target/support overlap) and never cancel or merge with each
+        // other (pairwise distinct targets).
         let mut c = Circuit::new(40);
         c.toffoli(0, 1, 2);
         for l in 3..39 {
-            c.not(l); // 36 commuting spacers
+            c.cnot(0, l); // 36 commuting spacers
         }
         c.toffoli(0, 1, 2);
         let narrow = optimize(&c, &OptOptions { window: 8 });
         assert_eq!(narrow.stats.total_rewrites(), 0, "partner out of window");
         let wide = optimize(&c, &OptOptions { window: 64 });
         assert_eq!(wide.stats.cancellations, 1);
+    }
+
+    #[test]
+    fn disjoint_components_optimize_independently_and_merge_in_order() {
+        // Three support-disjoint components interleaved in the cascade;
+        // the middle one is irreducible, the outer two each cancel away
+        // (component C as a nested mirror: inner pair first, then outer).
+        let mut c = Circuit::new(9);
+        c.toffoli(0, 1, 2); // component A
+        c.toffoli(3, 4, 5); // component B (survives)
+        c.cnot(6, 7); // component C
+        c.cnot(7, 8); // component C
+        c.toffoli(0, 1, 2); // component A cancels
+        c.cnot(7, 8); // component C cancels
+        c.cnot(6, 7); // component C cancels
+        let out = optimize_checked(&c, &opts()).unwrap();
+        assert_eq!(out.stats.cancellations, 3);
+        assert_eq!(out.circuit.gates(), &[Gate::toffoli(3, 4, 5)]);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        // The component shards are merged in original order regardless of
+        // which worker finishes first; pin byte-identity across worker
+        // counts within one process by forcing the serial path (the CI
+        // matrix pins it across processes via QDA_WORKERS).
+        let mut c = Circuit::new(12);
+        for i in 0..4 {
+            let base = 3 * i;
+            c.toffoli(base, base + 1, base + 2);
+            c.not(base);
+            c.not(base);
+            c.toffoli(base, base + 1, base + 2);
+        }
+        let a = optimize(&c, &opts());
+        let b = optimize(&c, &opts());
+        assert_eq!(a.circuit, b.circuit);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.circuit.num_gates(), 0);
     }
 
     #[test]

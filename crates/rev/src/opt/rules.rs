@@ -8,8 +8,9 @@
 //! ancilla cleanliness and input preservation for free. The unit tests
 //! below check each rule exhaustively against scalar simulation.
 
-use crate::cost::t_count_gate;
+use crate::cost::{t_count_gate, t_count_mct};
 use crate::gate::Gate;
+use crate::packed::{PackedGate, PackedGateBuf};
 
 /// Whether two adjacent gates may be swapped without changing the circuit
 /// function. Three sufficient (and individually exhaustive-tested)
@@ -96,6 +97,69 @@ pub fn merge(a: &Gate, b: &Gate) -> Option<(Gate, MergeRule)> {
     }
 }
 
+/// [`merge`] over packed gates: both templates reduce to a handful of
+/// whole-word mask operations instead of walking control vectors.
+///
+/// * **Polarity** — control masks equal, polarity masks differing in
+///   exactly one bit: drop that bit from both masks.
+/// * **Subset** — one control mask extends the other by exactly one bit,
+///   polarities agreeing on the shared controls
+///   (`(pol_a ^ pol_b) & (ctrl_a & ctrl_b) == 0`): the larger gate with
+///   the extra bit's polarity flipped.
+pub fn merge_packed(a: &PackedGate<'_>, b: &PackedGate<'_>) -> Option<(PackedGateBuf, MergeRule)> {
+    if a.target() != b.target() {
+        return None;
+    }
+    let target = u32::try_from(a.target()).expect("line counts fit u32");
+    let (ca, cb) = (a.ctrl_words(), b.ctrl_words());
+    let (pa, pb) = (a.pol_words(), b.pol_words());
+    if ca == cb {
+        let diff_bits: u32 = pa.iter().zip(pb).map(|(&x, &y)| (x ^ y).count_ones()).sum();
+        if diff_bits != 1 {
+            return None; // 0 differing bits = equal gates, which cancel
+        }
+        let ctrl: Vec<u64> = ca
+            .iter()
+            .zip(pa.iter().zip(pb))
+            .map(|(&c, (&x, &y))| c & !(x ^ y))
+            .collect();
+        let pol: Vec<u64> = pa.iter().zip(pb).map(|(&x, &y)| x & y).collect();
+        return Some((
+            PackedGateBuf::from_masks(ctrl, pol, target),
+            MergeRule::Polarity,
+        ));
+    }
+    // Shared controls must agree in polarity for the subset template.
+    if pa
+        .iter()
+        .zip(pb)
+        .zip(ca.iter().zip(cb))
+        .any(|((&x, &y), (&cx, &cy))| (x ^ y) & (cx & cy) != 0)
+    {
+        return None;
+    }
+    let a_minus_b: Vec<u64> = ca.iter().zip(cb).map(|(&x, &y)| x & !y).collect();
+    let b_minus_a: Vec<u64> = ca.iter().zip(cb).map(|(&x, &y)| !x & y).collect();
+    let a_extra: u32 = a_minus_b.iter().map(|w| w.count_ones()).sum();
+    let b_extra: u32 = b_minus_a.iter().map(|w| w.count_ones()).sum();
+    let (large, extra) = match (a_extra, b_extra) {
+        (1, 0) => (a, a_minus_b),
+        (0, 1) => (b, b_minus_a),
+        _ => return None,
+    };
+    let ctrl = large.ctrl_words().to_vec();
+    let pol: Vec<u64> = large
+        .pol_words()
+        .iter()
+        .zip(&extra)
+        .map(|(&p, &e)| p ^ e)
+        .collect();
+    Some((
+        PackedGateBuf::from_masks(ctrl, pol, target),
+        MergeRule::Subset,
+    ))
+}
+
 /// The cost delta of replacing `removed` gates with `added` gates.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RewriteCost {
@@ -115,6 +179,17 @@ impl RewriteCost {
         Self {
             t_removed: removed.iter().map(|g| t_count_gate(g)).sum(),
             t_added: added.iter().map(|g| t_count_gate(g)).sum(),
+            gates_removed: removed.len(),
+            gates_added: added.len(),
+        }
+    }
+
+    /// [`RewriteCost::of`] from control counts alone (the T model only
+    /// reads the control count, so packed gates cost a popcount each).
+    pub fn of_controls(removed: &[usize], added: &[usize]) -> Self {
+        Self {
+            t_removed: removed.iter().map(|&c| t_count_mct(c)).sum(),
+            t_added: added.iter().map(|&c| t_count_mct(c)).sum(),
             gates_removed: removed.len(),
             gates_added: added.len(),
         }
@@ -327,6 +402,60 @@ mod tests {
         assert!(!RewriteCost::of(&[&cnot], &[&cnot]).accepted());
         // T regression, even with fewer gates: rejected.
         assert!(!RewriteCost::of(&[&cnot, &cnot], &[&tof]).accepted());
+    }
+
+    #[test]
+    fn packed_merge_agrees_with_the_legacy_template_exhaustively() {
+        // Every gate pair on 4 lines: the mask-level templates must fire
+        // exactly where the control-vector templates fire, with the same
+        // rule and the same fused gate.
+        let gates = all_gates(4);
+        for a in &gates {
+            for b in &gates {
+                let pa = PackedGateBuf::from_gate(a, 1);
+                let pb = PackedGateBuf::from_gate(b, 1);
+                match (merge(a, b), merge_packed(&pa.view(), &pb.view())) {
+                    (None, None) => {}
+                    (Some((g, r)), Some((p, pr))) => {
+                        assert_eq!(r, pr, "{a} · {b}");
+                        assert_eq!(p.view().to_gate(), g, "{a} · {b}");
+                    }
+                    (legacy, packed) => {
+                        panic!("{a} · {b}: legacy {legacy:?} vs packed {packed:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_commutation_agrees_with_the_legacy_rule_exhaustively() {
+        let gates = all_gates(3);
+        for a in &gates {
+            for b in &gates {
+                let pa = PackedGateBuf::from_gate(a, 1);
+                let pb = PackedGateBuf::from_gate(b, 1);
+                assert_eq!(
+                    pa.view().commutes_with(&pb.view()),
+                    commutes(a, b),
+                    "{a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn control_count_costing_matches_gate_costing() {
+        let tof = Gate::toffoli(0, 1, 2);
+        let cnot = Gate::cnot(0, 2);
+        assert_eq!(
+            RewriteCost::of(&[&tof, &cnot], &[&tof]),
+            RewriteCost::of_controls(&[2, 1], &[2])
+        );
+        assert_eq!(
+            RewriteCost::of(&[&cnot, &cnot], &[]),
+            RewriteCost::of_controls(&[1, 1], &[])
+        );
     }
 
     #[test]

@@ -7,20 +7,25 @@
 //! whose composite permutation has a much cheaper realization than the
 //! cascade that computes it. This pass closes that gap:
 //!
-//! 1. **Window extraction** — slide over the [`GateList`] arena and
+//! 1. **Window extraction** — slide over the packed [`GateArena`] and
 //!    greedily grow windows of support-connected gates whose combined
 //!    support (targets + controls) fits in at most
 //!    [`ResynthOptions::max_lines`] lines (default 6, hard cap
 //!    [`MAX_WINDOW_LINES`]). Growth commutes past gates on disjoint
 //!    lines, so the compute/use/uncompute triples Bennett cleanup
-//!    scatters through a cascade still land in one window.
+//!    scatters through a cascade still land in one window. Support
+//!    tests are mask operations on the packed gate views — no gate is
+//!    materialized until a window is actually spliced.
 //! 2. **Permutation recovery** — remap the window onto `k` local lines
 //!    and replay all `2^k` basis states through the bit-parallel
 //!    [`crate::batchsim`] engine ([`crate::circuit::Circuit::permutation`]).
 //! 3. **Re-entrant synthesis** — hand the recovered permutation to every
 //!    registered [`WindowSynthesizer`] (the TBS and ESOP back-ends of
 //!    `qda-revsynth`, injected from above because synthesis sits on top
-//!    of this crate) and keep the cheapest candidate.
+//!    of this crate) and keep the cheapest candidate. The back-ends
+//!    race in parallel ([`qda_logic::par`]); candidates are folded in
+//!    registration order, so the winner — and therefore the rewritten
+//!    circuit — is byte-identical whatever `QDA_WORKERS` says.
 //! 4. **Acceptance** — splice the candidate in only when
 //!    [`RewriteCost::accepted`] says it *strictly* improves
 //!    `(T-count, gates)` lexicographically; every splice is re-verified
@@ -37,10 +42,10 @@
 //! [`OptMismatch`] witness, never as a silently wrong cost figure.
 
 use crate::circuit::Circuit;
-use crate::gate::Gate;
 use crate::opt::rules::RewriteCost;
-use crate::opt::window::{GateList, NIL};
 use crate::opt::{equivalence_witness, OptMismatch};
+use crate::packed::{GateArena, PackedGate, PackedGateBuf};
+use qda_logic::par;
 
 /// Hard cap on the window support: `2^8` basis states per permutation
 /// recovery keeps every attempt a single batch-simulation sweep.
@@ -143,17 +148,28 @@ pub struct Resynthesized {
     pub stats: ResynthStats,
 }
 
-/// The sorted support (targets + control lines) of a gate.
-fn gate_support(g: &Gate) -> Vec<usize> {
-    let mut s: Vec<usize> = g.controls().iter().map(|c| c.line()).collect();
-    s.push(g.target());
-    s.sort_unstable();
+/// The sorted support (target + control lines) of a packed gate,
+/// recovered from the set bits of its control mask words.
+fn gate_support(g: &PackedGate<'_>) -> Vec<usize> {
+    let mut s: Vec<usize> = Vec::with_capacity(g.num_controls() + 1);
+    for (w, word) in g.ctrl_words().iter().enumerate() {
+        let mut bits = *word;
+        while bits != 0 {
+            s.push(w * 64 + bits.trailing_zeros() as usize);
+            bits &= bits - 1;
+        }
+    }
+    // Control bits come out ascending; only the target needs placing.
+    let t = g.target();
+    if let Err(pos) = s.binary_search(&t) {
+        s.insert(pos, t);
+    }
     s
 }
 
 /// Merges `extra`'s lines into the sorted `support`, returning `None`
 /// as soon as the union would exceed `cap`.
-fn merge_support(support: &[usize], extra: &Gate, cap: usize) -> Option<Vec<usize>> {
+fn merge_support(support: &[usize], extra: &PackedGate<'_>, cap: usize) -> Option<Vec<usize>> {
     let mut merged = support.to_vec();
     for line in gate_support(extra) {
         if let Err(pos) = merged.binary_search(&line) {
@@ -176,36 +192,39 @@ fn sweep(
 ) -> bool {
     let max_lines = options.max_lines.clamp(1, MAX_WINDOW_LINES);
     let max_gates = options.max_window_gates.max(2);
-    let mut list = GateList::new(circuit.gates());
+    let mut list: GateArena = circuit.clone().into_arena();
     let mut changed = false;
-    let mut id = list.first();
-    while id != NIL {
+    let mut cursor = list.first();
+    while let Some(id) = cursor {
         // Greedily grow the window from `id`: a gate joins when it shares
         // a line with the window and the union support stays within the
         // line budget. Gates whose support is *disjoint* from the window
         // commute past it, so growth may skip over them (their lines are
         // then poisoned: a later gate touching a skipped line cannot join,
         // or the commuting argument — and the splice — would be unsound).
-        let mut support = gate_support(list.gate(id));
+        let mut support = gate_support(&list.gate(id));
         if support.len() > max_lines {
-            id = list.next_live(id);
+            cursor = list.next_live(id);
             continue;
         }
         let mut ids = vec![id];
         let mut skipped_lines: Vec<usize> = Vec::new();
         let mut skips_left = options.max_commute_skips;
         let mut j = list.next_live(id);
-        while j != NIL && ids.len() < max_gates {
-            let g = list.gate(j);
-            let gsup = gate_support(g);
+        while let Some(jid) = j {
+            if ids.len() >= max_gates {
+                break;
+            }
+            let g = list.gate(jid);
+            let gsup = gate_support(&g);
             let overlaps_window = gsup.iter().any(|l| support.binary_search(l).is_ok());
             let overlaps_skipped = gsup.iter().any(|l| skipped_lines.binary_search(l).is_ok());
             if overlaps_window && !overlaps_skipped {
-                let Some(grown) = merge_support(&support, g, max_lines) else {
+                let Some(grown) = merge_support(&support, &g, max_lines) else {
                     break;
                 };
                 support = grown;
-                ids.push(j);
+                ids.push(jid);
             } else if !overlaps_window && skips_left > 0 {
                 for line in gsup {
                     if let Err(pos) = skipped_lines.binary_search(&line) {
@@ -216,10 +235,10 @@ fn sweep(
             } else {
                 break;
             }
-            j = list.next_live(j);
+            j = list.next_live(jid);
         }
         if ids.len() < 2 {
-            id = list.next_live(id);
+            cursor = list.next_live(id);
             continue;
         }
         stats.windows_attempted += 1;
@@ -231,21 +250,30 @@ fn sweep(
         }
         let mut sub = Circuit::new(k);
         for &w in &ids {
-            sub.add_gate(list.gate(w).remapped(&to_local));
+            sub.add_gate(list.materialize(w).remapped(&to_local));
         }
-        let perm = sub.permutation();
-        // Collect the cheapest sound candidate.
-        let mut best: Option<Circuit> = None;
-        for synth in synths {
-            let Some(candidate) = synth.synthesize(&perm) else {
-                continue;
-            };
+        let perm = sub
+            .permutation()
+            .expect("window support is capped at MAX_WINDOW_LINES = 8 lines");
+        // Race every back-end over the window in parallel, then fold the
+        // results in registration order: the first strictly-cheapest
+        // candidate wins exactly as it would under a serial scan, so the
+        // outcome does not depend on the worker count.
+        let candidates = par::run_indexed(synths.len(), |si| {
+            let candidate = synths[si].synthesize(&perm)?;
             // The splice check: a candidate may only replace the window
             // if batch simulation proves it equivalent on all 2^k states.
             if candidate.num_lines() != k || equivalence_witness(&sub, &candidate).is_some() {
+                return Some(Err(()));
+            }
+            Some(Ok(candidate))
+        });
+        let mut best: Option<Circuit> = None;
+        for verdict in candidates.into_iter().flatten() {
+            let Ok(candidate) = verdict else {
                 stats.candidates_unsound += 1;
                 continue;
-            }
+            };
             let cheaper = match &best {
                 None => true,
                 Some(b) => {
@@ -258,21 +286,21 @@ fn sweep(
                 best = Some(candidate);
             }
         }
-        let removed: Vec<&Gate> = ids.iter().map(|&w| list.gate(w)).collect();
+        let removed_controls: Vec<usize> =
+            ids.iter().map(|&w| list.gate(w).num_controls()).collect();
+        let added_controls = |b: &Circuit| -> Vec<usize> {
+            b.packed().iter().map(|(_, g)| g.num_controls()).collect()
+        };
         let accepted = best.as_ref().is_some_and(|b| {
-            let added: Vec<&Gate> = b.gates().iter().collect();
-            RewriteCost::of(&removed, &added).accepted()
+            RewriteCost::of_controls(&removed_controls, &added_controls(b)).accepted()
         });
         if !accepted {
             stats.windows_rejected += 1;
-            id = list.next_live(id);
+            cursor = list.next_live(id);
             continue;
         }
         let replacement = best.expect("accepted implies a candidate");
-        let cost = {
-            let added: Vec<&Gate> = replacement.gates().iter().collect();
-            RewriteCost::of(&removed, &added)
-        };
+        let cost = RewriteCost::of_controls(&removed_controls, &added_controls(&replacement));
         stats.windows_accepted += 1;
         stats.gates_removed += cost.gates_removed as u64;
         stats.gates_added += cost.gates_added as u64;
@@ -281,21 +309,19 @@ fn sweep(
         // Splice: insert the replacement (mapped back to circuit lines)
         // before the window, then drop the original gates.
         let resume = list.next_live(*ids.last().expect("non-empty window"));
+        let words = list.words_per_gate();
         for g in replacement.gates() {
-            list.insert_before(ids[0], g.remapped(&support));
+            let buf = PackedGateBuf::from_gate(&g.remapped(&support), words);
+            list.insert_before(ids[0], &buf);
         }
         for &w in &ids {
             list.remove(w);
         }
         changed = true;
-        id = resume;
+        cursor = resume;
     }
     if changed {
-        let mut out = Circuit::new(circuit.num_lines());
-        for g in list.to_gates() {
-            out.add_gate(g);
-        }
-        *circuit = out;
+        *circuit = Circuit::from_arena(list);
     }
     changed
 }
@@ -356,6 +382,7 @@ pub fn resynthesize_checked(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::gate::Gate;
 
     /// Recognizes identity windows and replaces them with nothing — the
     /// smallest sound back-end, enough to exercise the splice machinery.

@@ -7,6 +7,7 @@
 //! tractable.
 
 use crate::gate::Gate;
+use crate::packed::PackedGate;
 
 /// A classical assignment to the lines of a reversible circuit.
 ///
@@ -91,6 +92,19 @@ impl BitState {
             .iter()
             .all(|c| self.get(c.line()) == c.is_positive());
         if fires {
+            self.flip(gate.target());
+        }
+    }
+
+    /// Applies one packed gate in place: the firing test is a masked
+    /// compare over the state words (`(state ^ pol) & ctrl == 0` per
+    /// word) instead of a per-control loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate's target is out of range.
+    pub fn apply_packed(&mut self, gate: &PackedGate<'_>) {
+        if gate.fires_words(&self.words) {
             self.flip(gate.target());
         }
     }

@@ -151,7 +151,7 @@ proptest! {
         c in arb_circuit(11, 24),
     ) {
         // 11 lines = 2048 states: permutation() spans two batches.
-        let perm = c.permutation();
+        let perm = c.permutation().expect("11 lines is within the cap");
         prop_assert_eq!(perm.len(), 1 << 11);
         let mut seen = vec![false; perm.len()];
         for (x, &y) in perm.iter().enumerate() {

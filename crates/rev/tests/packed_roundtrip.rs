@@ -1,0 +1,143 @@
+//! Differential tests pinning the packed-mask gate IR against the legacy
+//! `Vec<Gate>` form: structural round-trip identity through
+//! [`GateArena`] / [`PackedGateBuf`], and bit-exact simulation agreement
+//! between the packed engines (scalar, batch, optimizer, resynthesis)
+//! and a legacy reference interpreter that folds [`Gate::apply_u64`]
+//! over the materialized gate list — a code path that never touches a
+//! mask word.
+
+use proptest::prelude::*;
+use qda_rev::circuit::Circuit;
+use qda_rev::gate::Gate;
+use qda_rev::opt::{optimize_checked, OptOptions};
+use qda_rev::packed::{words_for_lines, GateArena, PackedGateBuf};
+use qda_rev::resynth::{resynthesize_checked, ResynthOptions};
+use qda_rev::state::BitState;
+use qda_rev::testkit::arb_mpmct_circuit;
+use qda_revsynth::resynth::default_window_synthesizers;
+
+/// Legacy reference simulation: fold the per-`Gate` scalar kernel over
+/// the materialized gate list. Deliberately independent of the packed
+/// word-mask kernels behind `simulate_u64` / `apply_batch`.
+fn legacy_simulate(gates: &[Gate], mut state: u64) -> u64 {
+    for g in gates {
+        state = g.apply_u64(state);
+    }
+    state
+}
+
+/// A spread of probe states covering the corners and a stride through
+/// the middle of an `n`-line state space.
+fn probe_states(n: usize) -> Vec<u64> {
+    let size = 1u64 << n;
+    let mut probes = vec![0, 1, size / 2, size - 2, size - 1];
+    probes.extend((0..size).step_by(((size / 64) as usize).max(1)));
+    probes.retain(|&x| x < size);
+    probes
+}
+
+/// Both simulation engines of `c` must agree with the legacy replay of
+/// `reference`'s gate list on every probe state.
+fn assert_packed_matches_legacy(c: &Circuit, reference: &Circuit) {
+    let gates = reference.gates();
+    for x in probe_states(c.num_lines()) {
+        assert_eq!(c.simulate_u64(x), legacy_simulate(&gates, x), "state {x}");
+    }
+    // The batch engine (one transposed pass over all probes at once)
+    // must match the same legacy table.
+    let probes = probe_states(c.num_lines());
+    let batch = c.simulate_batch(&probes);
+    for (k, &x) in probes.iter().enumerate() {
+        assert_eq!(batch[k], legacy_simulate(&gates, x), "lane {k}");
+    }
+}
+
+proptest! {
+    #[test]
+    fn arena_round_trips_the_gate_list(c in arb_mpmct_circuit(3..17, 32)) {
+        // Vec<Gate> -> GateArena -> Vec<Gate> is the identity, and the
+        // circuit's own arena materializes to the same list.
+        let gates = c.gates();
+        let arena = GateArena::from_gates(c.num_lines(), &gates);
+        prop_assert_eq!(&arena.to_gates(), &gates);
+        prop_assert_eq!(&c.packed().to_gates(), &gates);
+        prop_assert_eq!(arena.len(), gates.len());
+    }
+
+    #[test]
+    fn packed_gate_buf_round_trips_every_gate(c in arb_mpmct_circuit(3..17, 32)) {
+        let words = words_for_lines(c.num_lines());
+        for g in c.gates() {
+            let buf = PackedGateBuf::from_gate(&g, words);
+            let view = buf.view();
+            prop_assert_eq!(&view.to_gate(), &g);
+            prop_assert_eq!(view.target(), g.target());
+            prop_assert_eq!(view.num_controls(), g.num_controls());
+            for ctl in g.controls() {
+                prop_assert_eq!(view.control_on(ctl.line()), Some(ctl.is_positive()));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_views_agree_with_materialized_gates(c in arb_mpmct_circuit(3..17, 32)) {
+        // Walking the arena yields views that decode, control-for-control
+        // and in order, to the legacy gates.
+        let gates = c.gates();
+        for ((id, view), g) in c.packed().iter().zip(&gates) {
+            prop_assert_eq!(&view.to_gate(), g);
+            prop_assert_eq!(&c.packed().materialize(id), g);
+            let decoded: Vec<_> = view.controls().collect();
+            prop_assert_eq!(decoded.as_slice(), g.controls());
+        }
+    }
+
+    #[test]
+    fn packed_scalar_and_batch_sims_match_legacy_replay(
+        c in arb_mpmct_circuit(3..17, 32),
+    ) {
+        assert_packed_matches_legacy(&c, &c);
+        // BitState apply (word-sliced packed kernel) agrees too.
+        let gates = c.gates();
+        for x in probe_states(c.num_lines()) {
+            let mut s = BitState::zeros(c.num_lines());
+            let lines: Vec<usize> = (0..c.num_lines()).collect();
+            s.write_register(&lines, x);
+            c.apply(&mut s);
+            prop_assert_eq!(s.read_register(&lines), legacy_simulate(&gates, x));
+        }
+    }
+
+    #[test]
+    fn full_permutation_matches_legacy_replay(c in arb_mpmct_circuit(3..13, 24)) {
+        // Exhaustive on up to 12 lines: the batch-backed permutation
+        // table is the legacy replay of every basis state.
+        let gates = c.gates();
+        let perm = c.permutation().expect("12 lines is within the cap");
+        for (x, &y) in perm.iter().enumerate() {
+            prop_assert_eq!(y, legacy_simulate(&gates, x as u64), "input {}", x);
+        }
+    }
+
+    #[test]
+    fn optimized_circuit_round_trips_and_matches_legacy(
+        c in arb_mpmct_circuit(3..11, 28),
+    ) {
+        let out = optimize_checked(&c, &OptOptions::default()).expect("optimizer is sound");
+        // The rewritten arena still materializes consistently...
+        prop_assert_eq!(out.circuit.packed().to_gates(), out.circuit.gates());
+        // ...and both packed engines still compute the ORIGINAL function
+        // as replayed by the legacy interpreter.
+        assert_packed_matches_legacy(&out.circuit, &c);
+    }
+
+    #[test]
+    fn resynthesized_circuit_round_trips_and_matches_legacy(
+        c in arb_mpmct_circuit(3..9, 20),
+    ) {
+        let out = resynthesize_checked(&c, &ResynthOptions::default(), &default_window_synthesizers())
+            .expect("default back-ends are sound");
+        prop_assert_eq!(out.circuit.packed().to_gates(), out.circuit.gates());
+        assert_packed_matches_legacy(&out.circuit, &c);
+    }
+}

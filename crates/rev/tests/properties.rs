@@ -17,7 +17,7 @@ fn arb_circuit(lines: usize, max_gates: usize) -> impl Strategy<Value = Circuit>
 proptest! {
     #[test]
     fn circuits_realize_permutations(c in arb_circuit(6, 24)) {
-        let perm = c.permutation();
+        let perm = c.permutation().expect("6 lines is within the cap");
         let mut seen = vec![false; perm.len()];
         for &y in &perm {
             prop_assert!(!seen[y as usize]);

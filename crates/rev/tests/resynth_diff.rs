@@ -24,7 +24,7 @@ fn scalar_table(c: &Circuit) -> Vec<u64> {
 /// engine behind [`Circuit::permutation`], deliberately a different code
 /// path than [`scalar_table`].
 fn batch_table(c: &Circuit) -> Vec<u64> {
-    c.permutation()
+    c.permutation().expect("test circuits stay within the cap")
 }
 
 proptest! {

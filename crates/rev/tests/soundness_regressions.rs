@@ -6,7 +6,7 @@
 //! debug assertions, so the `cargo test --release` CI job proves the
 //! checks are real asserts, not `debug_assert!`s.
 
-use qda_rev::circuit::{Circuit, LineAllocator};
+use qda_rev::circuit::{Circuit, LineAllocator, TooWideError, PERMUTATION_LINE_LIMIT};
 use qda_rev::equiv::{verify_computes, verify_permutation, VerifyOptions, VerifyOutcome};
 
 /// 64 input lines feeding one output line.
@@ -65,17 +65,26 @@ fn wrong_64_bit_circuit_is_caught_not_vacuously_verified() {
 }
 
 #[test]
-#[should_panic(expected = "capped at 24 lines")]
-fn permutation_of_64_line_circuit_panics_instead_of_wrapping() {
+fn permutation_of_64_line_circuit_is_a_typed_error_not_a_wrap() {
     // The old `1u64 << 64` wrapped to 1 in release builds, silently
-    // returning a one-entry "permutation" of a 2^64-state circuit.
-    let _ = Circuit::new(64).permutation();
+    // returning a one-entry "permutation" of a 2^64-state circuit. The
+    // guard is now a typed error instead of a panic, so flows can route
+    // wide circuits to sampled verification.
+    let err = Circuit::new(64).permutation().unwrap_err();
+    assert_eq!(
+        err,
+        TooWideError {
+            lines: 64,
+            limit: PERMUTATION_LINE_LIMIT
+        }
+    );
+    assert!(err.to_string().contains("capped at 24 lines"), "{err}");
 }
 
 #[test]
-#[should_panic(expected = "capped at 24 lines")]
-fn verify_permutation_rejects_wide_circuits_loudly() {
-    let _ = verify_permutation(&Circuit::new(64), &[0]);
+fn verify_permutation_rejects_wide_circuits_with_a_typed_error() {
+    let err = verify_permutation(&Circuit::new(64), &[0]).unwrap_err();
+    assert_eq!(err.lines, 64);
 }
 
 #[test]
@@ -158,6 +167,6 @@ mod release_mode {
 
     #[test]
     fn permutation_guard_holds_without_debug_assertions() {
-        assert!(catch_unwind(|| Circuit::new(64).permutation()).is_err());
+        assert!(Circuit::new(64).permutation().is_err());
     }
 }

@@ -275,7 +275,7 @@ mod tests {
     use super::*;
 
     fn permutation_of(c: &Circuit) -> Vec<u64> {
-        c.permutation()
+        c.permutation().expect("test windows are narrow")
     }
 
     fn check_realizes(synth: &dyn WindowSynthesizer, perm: &[u64]) -> Circuit {
