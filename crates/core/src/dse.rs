@@ -5,13 +5,13 @@
 
 use crate::design::Design;
 use crate::flow::{Flow, FlowError, FlowOutcome, FrontendCache};
+use qda_logic::par;
 use qda_rev::circuit::Circuit;
 use qda_rev::cost::CircuitCost;
 use qda_rev::opt::{optimize_checked_assuming, OptOptions, OptStats};
 use qda_rev::resynth::{ResynthOptions, ResynthStats};
 use qda_revsynth::resynth::resynthesize_circuit_checked;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Optimization objective for picking a winner.
@@ -25,10 +25,12 @@ pub enum Objective {
     Runtime,
 }
 
-/// One worker thread per available CPU (at least one) — the default for
-/// [`DesignSpaceExplorer::explore_matrix`] with `workers = 0`.
+/// The machine-wide parallel budget: the thread count of the shared
+/// [`qda_logic::par`] worker pool (`QDA_WORKERS`, or one thread per
+/// available CPU). This is what
+/// [`DesignSpaceExplorer::explore_matrix`] with `workers = 0` runs at.
 pub fn default_workers() -> usize {
-    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    par::worker_count()
 }
 
 /// Runs a set of flows on a design and ranks the outcomes.
@@ -75,9 +77,11 @@ impl DesignSpaceExplorer {
         self.explore_matrix(std::slice::from_ref(design), 1)
     }
 
-    /// Runs the full flow × design matrix, dispatching jobs over `workers`
-    /// OS threads (`0` means one per available CPU). Returns the number of
-    /// successful outcomes added.
+    /// Runs the full flow × design matrix, sharding jobs through the
+    /// persistent [`qda_logic::par`] worker pool with at most `workers`
+    /// threads participating (`0` means the pool's full `QDA_WORKERS`
+    /// budget — no thread is ever spawned per call). Returns the number
+    /// of successful outcomes added.
     ///
     /// Front ends are shared through a [`FrontendCache`], so each design
     /// is parsed and optimized once no matter how many flows consume it.
@@ -85,47 +89,28 @@ impl DesignSpaceExplorer {
     /// registration) order — a parallel run reports exactly what a serial
     /// run does, only sooner.
     pub fn explore_matrix(&mut self, designs: &[Design], workers: usize) -> usize {
-        let workers = match workers {
-            0 => default_workers(),
+        let cap = match workers {
+            0 => usize::MAX,
             w => w,
         };
         let cache = FrontendCache::new();
         let flows = &self.flows;
         let num_jobs = designs.len() * flows.len();
-        type JobResult = Result<FlowOutcome, (String, FlowError)>;
-        let slots: Vec<Mutex<Option<JobResult>>> =
-            (0..num_jobs).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let run_job = |job: usize| {
-            let design = &designs[job / flows.len()];
-            let flow = &flows[job % flows.len()];
-            // Precheck before the cache lookup: an infeasible (design,
-            // flow) pair must not force a front-end computation.
-            let result = flow
-                .precheck(design)
-                .and_then(|()| cache.get_or_compute(design, &flow.frontend_options()))
-                .and_then(|frontend| flow.run_with_frontend(design, &frontend))
-                .map_err(|e| (flow.name(), e));
-            *slots[job].lock().expect("slot lock") = Some(result);
-        };
-        if workers <= 1 {
-            (0..num_jobs).for_each(run_job);
-        } else {
-            std::thread::scope(|s| {
-                for _ in 0..workers.min(num_jobs.max(1)) {
-                    s.spawn(|| loop {
-                        let job = next.fetch_add(1, Ordering::Relaxed);
-                        if job >= num_jobs {
-                            break;
-                        }
-                        run_job(job);
-                    });
-                }
-            });
-        }
+        let results = par::with_worker_cap(cap, || {
+            par::run_indexed(num_jobs, |job| {
+                let design = &designs[job / flows.len()];
+                let flow = &flows[job % flows.len()];
+                // Precheck before the cache lookup: an infeasible (design,
+                // flow) pair must not force a front-end computation.
+                flow.precheck(design)
+                    .and_then(|()| cache.get_or_compute(design, &flow.frontend_options()))
+                    .and_then(|frontend| flow.run_with_frontend(design, &frontend))
+                    .map_err(|e| (flow.name(), e))
+            })
+        });
         let mut added = 0;
-        for slot in slots {
-            match slot.into_inner().expect("slot lock").expect("job ran") {
+        for result in results {
+            match result {
                 Ok(outcome) => {
                     self.outcomes.push(outcome);
                     added += 1;
@@ -180,8 +165,9 @@ impl DesignSpaceExplorer {
     /// Runs the {flow × post_opt × post_resynth} configuration portfolio
     /// on every design, racing the configurations against each other.
     ///
-    /// Two phases, both dispatched over `workers` OS threads (`0` means
-    /// one per available CPU):
+    /// Two phases, both sharded through the persistent
+    /// [`qda_logic::par`] worker pool with at most `workers` threads
+    /// participating (`0` means the pool's full `QDA_WORKERS` budget):
     ///
     /// 1. **Raw synthesis** — every flow that offers a
     ///    [`Flow::raw_variant`] runs once per design with both
@@ -202,83 +188,72 @@ impl DesignSpaceExplorer {
     /// [`PortfolioOutcome::runtime`] varies, and the deterministic
     /// report excludes it).
     pub fn explore_portfolio(&self, designs: &[Design], workers: usize) -> Portfolio {
-        let workers = match workers {
-            0 => default_workers(),
+        let cap = match workers {
+            0 => usize::MAX,
             w => w,
         };
         let cache = FrontendCache::new();
         let raws: Vec<Box<dyn Flow>> = self.flows.iter().filter_map(|f| f.raw_variant()).collect();
         let num_raw = designs.len() * raws.len();
-        type RawResult = Result<FlowOutcome, (String, FlowError)>;
 
         // Phase 1: raw synthesis, racing the per-design best T-count.
         let best_raw_t: Vec<AtomicU64> = designs.iter().map(|_| AtomicU64::new(u64::MAX)).collect();
-        let raw_slots: Vec<Mutex<Option<RawResult>>> =
-            (0..num_raw).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let run_raw = |job: usize| {
-            let design_idx = job / raws.len();
-            let design = &designs[design_idx];
-            let raw = &raws[job % raws.len()];
-            let result = raw
-                .precheck(design)
-                .and_then(|()| cache.get_or_compute(design, &raw.frontend_options()))
-                .and_then(|frontend| raw.run_with_frontend(design, &frontend))
-                .map_err(|e| (raw.name(), e));
-            if let Ok(outcome) = &result {
-                best_raw_t[design_idx].fetch_min(outcome.cost.t_count, Ordering::Relaxed);
-            }
-            *raw_slots[job].lock().expect("slot lock") = Some(result);
-        };
-        run_jobs(workers, num_raw, &next, &run_raw);
+        let raw_results = par::with_worker_cap(cap, || {
+            par::run_indexed(num_raw, |job| {
+                let design_idx = job / raws.len();
+                let design = &designs[design_idx];
+                let raw = &raws[job % raws.len()];
+                let result = raw
+                    .precheck(design)
+                    .and_then(|()| cache.get_or_compute(design, &raw.frontend_options()))
+                    .and_then(|frontend| raw.run_with_frontend(design, &frontend))
+                    .map_err(|e| (raw.name(), e));
+                if let Ok(outcome) = &result {
+                    best_raw_t[design_idx].fetch_min(outcome.cost.t_count, Ordering::Relaxed);
+                }
+                result
+            })
+        });
 
         let mut failures: Vec<(String, FlowError)> = Vec::new();
-        let raw_outcomes: Vec<Option<FlowOutcome>> = raw_slots
+        let raw_outcomes: Vec<Option<FlowOutcome>> = raw_results
             .into_iter()
-            .map(
-                |slot| match slot.into_inner().expect("slot lock").expect("job ran") {
-                    Ok(outcome) => Some(outcome),
-                    Err(failure) => {
-                        failures.push(failure);
-                        None
-                    }
-                },
-            )
+            .map(|result| match result {
+                Ok(outcome) => Some(outcome),
+                Err(failure) => {
+                    failures.push(failure);
+                    None
+                }
+            })
             .collect();
 
         // Phase 2: refinement combos against the settled phase-1 minima.
         const COMBOS: [(bool, bool); 3] = [(true, false), (false, true), (true, true)];
         let num_refine = num_raw * COMBOS.len();
         type RefineResult = Result<PortfolioOutcome, (String, FlowError)>;
-        let refine_slots: Vec<Mutex<Option<RefineResult>>> =
-            (0..num_refine).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let run_refine = |job: usize| {
-            let raw_idx = job / COMBOS.len();
-            let (post_opt, post_resynth) = COMBOS[job % COMBOS.len()];
-            let Some(raw) = &raw_outcomes[raw_idx] else {
-                return; // raw synthesis failed; already recorded
-            };
-            let bound = best_raw_t[raw_idx / raws.len()].load(Ordering::Relaxed);
-            let cut_off = raw.cost.t_count > PORTFOLIO_CUTOFF_FACTOR.saturating_mul(bound);
-            let result = if cut_off {
-                Ok(portfolio_row(raw, post_opt, post_resynth, true))
-            } else {
-                refine(raw, post_opt, post_resynth)
-            };
-            *refine_slots[job].lock().expect("slot lock") = Some(result);
-        };
-        run_jobs(workers, num_refine, &next, &run_refine);
+        let refine_results: Vec<Option<RefineResult>> = par::with_worker_cap(cap, || {
+            par::run_indexed(num_refine, |job| {
+                let raw_idx = job / COMBOS.len();
+                let (post_opt, post_resynth) = COMBOS[job % COMBOS.len()];
+                // A failed raw synthesis is already recorded; its
+                // refinement slots stay empty.
+                let raw = raw_outcomes[raw_idx].as_ref()?;
+                let bound = best_raw_t[raw_idx / raws.len()].load(Ordering::Relaxed);
+                let cut_off = raw.cost.t_count > PORTFOLIO_CUTOFF_FACTOR.saturating_mul(bound);
+                Some(if cut_off {
+                    Ok(portfolio_row(raw, post_opt, post_resynth, true))
+                } else {
+                    refine(raw, post_opt, post_resynth)
+                })
+            })
+        });
 
         // Drain deterministically: per (design, flow), the raw row first,
         // then its three refinements in combo order.
         let mut outcomes = Vec::with_capacity(num_raw * (1 + COMBOS.len()));
-        let mut refined = refine_slots.into_iter();
+        let mut refined = refine_results.into_iter();
         for raw in &raw_outcomes {
-            let rows: Vec<Option<RefineResult>> = (&mut refined)
-                .take(COMBOS.len())
-                .map(|slot| slot.into_inner().expect("slot lock"))
-                .collect();
+            let rows: Vec<Option<RefineResult>> = (&mut refined).take(COMBOS.len()).collect();
             let Some(raw) = raw else { continue };
             outcomes.push(portfolio_row(raw, false, false, false));
             for row in rows {
@@ -289,25 +264,6 @@ impl DesignSpaceExplorer {
             }
         }
         Portfolio { outcomes, failures }
-    }
-}
-
-/// Dispatches `num_jobs` jobs over `workers` threads (inline when 1).
-fn run_jobs(workers: usize, num_jobs: usize, next: &AtomicUsize, run: &(dyn Fn(usize) + Sync)) {
-    if workers <= 1 {
-        (0..num_jobs).for_each(run);
-    } else {
-        std::thread::scope(|s| {
-            for _ in 0..workers.min(num_jobs.max(1)) {
-                s.spawn(|| loop {
-                    let job = next.fetch_add(1, Ordering::Relaxed);
-                    if job >= num_jobs {
-                        break;
-                    }
-                    run(job);
-                });
-            }
-        });
     }
 }
 

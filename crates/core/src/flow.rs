@@ -498,7 +498,10 @@ fn finish(
     // The bit-parallel batch engine makes a much larger verification
     // budget affordable than the scalar replay this stage started with
     // (exhaustive_limit 11 / 128 samples); its cost shows up as the
-    // `verification` entry of [`StageTimings`].
+    // `verification` entry of [`StageTimings`]. The sweep itself is
+    // sharded across the shared `qda_logic::par` worker pool (so a flow
+    // running inside a DSE job recruits whatever budget is idle), with
+    // the verdict byte-identical to a serial sweep.
     let options = VerifyOptions {
         exhaustive_limit: 14,
         random_samples: 1024,

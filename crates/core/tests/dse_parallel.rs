@@ -51,6 +51,47 @@ fn explore_matches_matrix_on_one_design() {
     );
 }
 
+/// DSE jobs nest pool use: each flow's back half runs the peephole
+/// optimizer (support-disjoint component sharding), equivalence sweeps,
+/// and — in the portfolio — the resynthesis candidate race, all on the
+/// same shared worker pool the DSE jobs themselves ride. This must drain
+/// without deadlock and report identically at any cap, repeatedly, on a
+/// warm pool.
+#[test]
+fn portfolio_nests_pool_use_without_deadlock_and_stays_deterministic() {
+    let designs = [Design::intdiv(4), Design::newton(4)];
+    let serial = fresh_explorer().explore_portfolio(&designs, 1);
+    let key = |p: &qda_core::dse::Portfolio| {
+        p.outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.design.name(),
+                    o.flow_name.clone(),
+                    o.post_opt,
+                    o.post_resynth,
+                    o.cut_off,
+                    o.cost,
+                    o.circuit.clone(),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let serial_key = key(&serial);
+    assert!(!serial_key.is_empty());
+    for round in 0..2 {
+        for workers in [2, 4, 0] {
+            let parallel = fresh_explorer().explore_portfolio(&designs, workers);
+            assert_eq!(
+                key(&parallel),
+                serial_key,
+                "workers = {workers}, round = {round}"
+            );
+            assert_eq!(parallel.failures.len(), serial.failures.len());
+        }
+    }
+}
+
 #[test]
 fn parallel_failures_match_serial_failures() {
     // INTDIV(16) is too large for explicit TBS; the other flows succeed.

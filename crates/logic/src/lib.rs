@@ -14,8 +14,9 @@
 //!   by hierarchical reversible synthesis),
 //! * [`hash`] — the FxHash-style fast hasher backing every hot map in the
 //!   synthesis mid-end (strash tables, BDD caches, cube indexes),
-//! * [`par`] — the deterministic fork–join helper behind every sharded
-//!   inner engine (`QDA_WORKERS`-controlled, index-ordered results).
+//! * [`par`] — the persistent `QDA_WORKERS` worker pool behind every
+//!   sharded inner engine (lazy init, shared injector queue, caller-helps
+//!   scheduling, index-ordered results byte-identical to serial).
 //!
 //! # Example
 //!

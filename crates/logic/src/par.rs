@@ -1,32 +1,94 @@
-//! Deterministic fork–join helper for the sharded inner engines.
+//! Deterministic fork–join on a **persistent worker pool**.
 //!
 //! Every parallel loop in the workspace (EXORCISM's diversified restarts,
 //! the peephole optimizer's support-disjoint components, the resynthesis
-//! candidate portfolio) has the same shape: `n` independent jobs whose
-//! results must be consumed **in job-index order** so a parallel run is
-//! byte-identical to a serial one. [`run_indexed`] is that shape: it fans
-//! the indices out over `std::thread::scope` workers and returns the
-//! results ordered by index, so callers fold them exactly as the serial
-//! loop would.
+//! candidate portfolio, batch-simulation lane sweeps, DSE job racing) has
+//! the same shape: `n` independent jobs whose results must be consumed
+//! **in job-index order** so a parallel run is byte-identical to a serial
+//! one. [`run_indexed`] is that shape.
 //!
-//! The worker count comes from the `QDA_WORKERS` environment variable
-//! (`0` or unset → one worker per available CPU); `QDA_WORKERS=1` forces
-//! the fully serial path, which the CI worker-count matrix diffs against
-//! `QDA_WORKERS=2` to pin determinism.
+//! # Pool design
+//!
+//! Earlier revisions spawned `std::thread::scope` workers per call, which
+//! charged every EXORCISM restart, optimizer window, and resynthesis
+//! portfolio a thread spawn/join. The pool is now **persistent and lazy**:
+//! the first parallel call spawns `QDA_WORKERS - 1` background workers
+//! (the caller itself is the remaining worker) that park on a condvar and
+//! live for the process. Steady-state parallel calls spawn nothing —
+//! [`spawned_threads`] exposes the lifetime spawn count so benches can
+//! assert exactly that.
+//!
+//! * **Queue discipline.** A single injector queue (FIFO `VecDeque` under
+//!   a mutex) holds type-erased jobs. Workers *peek* rather than pop: any
+//!   number of workers (up to the job's cap) join the front job and deal
+//!   themselves indices from its atomic counter, so one big batch is
+//!   drained by every idle worker at once. A job leaves the queue when
+//!   its indices are exhausted.
+//! * **Caller helps.** The thread that calls [`run_indexed`] enqueues its
+//!   job, then participates in it like any worker, and finally waits only
+//!   for indices claimed by other workers. A job is therefore completed
+//!   even if every background worker is busy — which is also what makes
+//!   **nesting** safe: a pool worker that calls `run_indexed` from inside
+//!   a job (DSE → resynthesis portfolio) drains its own inner job
+//!   itself; there is no circular wait, hence no deadlock.
+//! * **One machine-wide budget.** All engines share the same
+//!   `QDA_WORKERS` threads; racing DSE configurations can no longer
+//!   multiply the budget by each spinning up a full-width shard set.
+//!   [`with_worker_cap`] narrows the budget for a scope (and is inherited
+//!   by workers executing that scope's jobs), which the scaling bench
+//!   uses to measure 1/2/N-worker rows inside one process.
+//! * **Determinism.** Results are returned in index order and callers
+//!   fold them exactly as the serial loop would (strictly-better merges
+//!   stay with the caller), so parallel output is byte-identical to
+//!   serial at any worker count. Panics in a job are caught, forwarded,
+//!   and re-raised on the calling thread.
+//!
+//! The worker count comes from the `QDA_WORKERS` environment variable,
+//! which must be a positive integer when set (unset → one worker per
+//! available CPU); `QDA_WORKERS=1` forces the fully serial path, which
+//! the CI worker matrix diffs against 2 and 4 workers to pin determinism.
+//! The variable is read when the pool first initializes; changing it
+//! afterwards has no effect on the running process.
 
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
 
-/// Number of workers parallel loops should use: `QDA_WORKERS` if set and
-/// nonzero, otherwise one per available CPU.
+/// Number of workers parallel loops may use: `QDA_WORKERS` if set,
+/// otherwise one per available CPU.
+///
+/// # Panics
+///
+/// Panics if `QDA_WORKERS` is set to `0`, an empty string, or anything
+/// that is not a positive integer — a silent fallback would hide typos in
+/// deployment configs (the old behavior mapped `QDA_WORKERS=O2` to "all
+/// CPUs" without a word).
 #[must_use]
 pub fn worker_count() -> usize {
-    match std::env::var("QDA_WORKERS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) | Err(_) => available_cpus(),
-            Ok(n) => n,
-        },
-        Err(_) => available_cpus(),
+    match parse_workers(std::env::var("QDA_WORKERS").ok().as_deref()) {
+        Ok(Some(n)) => n,
+        Ok(None) => available_cpus(),
+        Err(message) => panic!("{message}"),
+    }
+}
+
+/// Strict `QDA_WORKERS` parsing: `None` (unset) means "use the CPU
+/// count", anything set must be a positive integer.
+fn parse_workers(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(
+            "QDA_WORKERS must be a positive integer; 0 is not a worker count \
+                      (unset the variable to use one worker per available CPU)"
+                .to_string(),
+        ),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "QDA_WORKERS must be a positive integer, got {raw:?} \
+             (unset the variable to use one worker per available CPU)"
+        )),
     }
 }
 
@@ -34,42 +96,300 @@ fn available_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Runs `f(0..n)` and returns the results in index order.
+/// Total OS threads the pool has spawned since process start (0 until the
+/// first parallel call; constant afterwards). Benches assert this stays
+/// flat across steady-state work — the hot path never spawns.
+#[must_use]
+pub fn spawned_threads() -> usize {
+    POOL.get().map_or(0, |p| p.spawned.load(Ordering::Relaxed))
+}
+
+thread_local! {
+    /// Per-thread participant cap, inherited by pool workers from the job
+    /// they execute so nested `run_indexed` calls respect the same scope.
+    static WORKER_CAP: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Runs `f` with parallel calls on this thread (and on pool workers
+/// executing jobs submitted by it) capped at `cap` participants,
+/// restoring the previous cap afterwards — even on panic.
 ///
-/// With one worker (or one job) this is a plain serial loop; otherwise
-/// the indices are dealt to scoped threads from an atomic counter. Either
-/// way the returned `Vec` is ordered by job index, so folding it
-/// reproduces the serial loop's visit order bit-for-bit — determinism is
-/// the caller's to keep only in `f` itself (no shared mutable state, no
-/// time or thread-id dependence).
+/// Caps nest by taking the minimum, so an inner scope can narrow but
+/// never widen the budget. The scaling bench uses this to measure
+/// 1/2/N-worker rows inside one process without re-execing.
+///
+/// # Panics
+///
+/// Panics if `cap` is zero (someone has to run the jobs).
+pub fn with_worker_cap<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    assert!(cap >= 1, "worker cap must be at least 1");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_CAP.set(self.0);
+        }
+    }
+    let prev = WORKER_CAP.get();
+    let _restore = Restore(prev);
+    WORKER_CAP.set(cap.min(prev));
+    f()
+}
+
+/// One type-erased batch of indexed jobs on the injector queue.
+///
+/// # Safety invariants
+///
+/// `data` points into the stack frame of the `run_indexed` call that owns
+/// this job. It is dereferenced only between claiming an index `i < n`
+/// from `next` and incrementing `done` for that index; the owner blocks
+/// until `done == n` before its frame unwinds, so every dereference
+/// happens-before the pointee dies. Workers that arrive later observe
+/// `next >= n` and never touch `data`.
+struct JobShared {
+    /// Number of indices.
+    n: usize,
+    /// Max concurrent participants (explicit [`with_worker_cap`] budget;
+    /// `usize::MAX` when uncapped). Inherited by participating workers
+    /// for the duration of the job, so nested parallel calls see it.
+    cap: usize,
+    /// Next unclaimed index (may exceed `n` after exhaustion).
+    next: AtomicUsize,
+    /// Participants admitted so far (the submitting caller counts as 1).
+    joined: AtomicUsize,
+    /// Indices fully executed. The release increments here, paired with
+    /// the owner's acquire load, order every slot write before the
+    /// owner's reads.
+    done: AtomicUsize,
+    /// Type-erased `&RunCtx<T, F>` on the owner's stack.
+    data: *const (),
+    /// Monomorphized runner: executes `f(i)` and stores slot `i`.
+    run_one: unsafe fn(*const (), usize),
+    /// First panic payload captured from any participant.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Parking lot for the owner while other workers finish their claimed
+    /// indices (the mutex guards no data — `done` is the condition).
+    finished: Mutex<()>,
+    finished_cv: Condvar,
+}
+
+// SAFETY: `data` is only dereferenced under the claim/`done` protocol
+// documented on the struct; `run_one` requires `F: Sync` and `T: Send`
+// at construction, so sharing the context across threads is sound.
+unsafe impl Send for JobShared {}
+unsafe impl Sync for JobShared {}
+
+impl JobShared {
+    /// Whether every index has been claimed (the job can leave the queue).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n
+    }
+
+    /// Tries to join as one more participant, respecting the cap.
+    fn try_admit(&self) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.joined
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |j| {
+                (j < self.cap).then_some(j + 1)
+            })
+            .is_ok()
+    }
+
+    /// Deals indices from `next` until exhaustion, running each one.
+    /// Panics in `f` are captured (first wins) and counted as done, so
+    /// the owner always unblocks.
+    fn participate(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            // SAFETY: `i < n` was claimed exactly once; per the struct
+            // invariant the pointee outlives this call because the owner
+            // waits for the matching `done` increment below.
+            let outcome =
+                catch_unwind(AssertUnwindSafe(|| unsafe { (self.run_one)(self.data, i) }));
+            if let Err(payload) = outcome {
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            if self.done.fetch_add(1, Ordering::Release) + 1 == self.n {
+                // Hold the lock while notifying so the owner cannot miss
+                // the wakeup between its condition check and its wait.
+                let _guard = self.finished.lock().expect("finish lock poisoned");
+                self.finished_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The process-wide pool: injector queue + parked background workers.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<JobShared>>>,
+    work_cv: Condvar,
+    /// Background workers to spawn (`worker_count() - 1`; the caller of
+    /// each parallel region is the remaining worker).
+    background: usize,
+    /// Lifetime thread-spawn count (see [`spawned_threads`]).
+    spawned: AtomicUsize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+static SPAWN_WORKERS: Once = Once::new();
+
+/// The lazily-initialized pool; spawns the background workers exactly
+/// once, on the first call.
+fn pool() -> &'static Pool {
+    let p = POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        background: worker_count().saturating_sub(1),
+        spawned: AtomicUsize::new(0),
+    });
+    SPAWN_WORKERS.call_once(|| {
+        for i in 0..p.background {
+            std::thread::Builder::new()
+                .name(format!("qda-par-{i}"))
+                .spawn(move || worker_loop(p))
+                .expect("failed to spawn pool worker");
+            p.spawned.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    p
+}
+
+/// Background worker: park until a job with capacity appears, join it,
+/// drain it, prune it, repeat — for the life of the process.
+fn worker_loop(pool: &'static Pool) {
+    loop {
+        let job = {
+            let mut q = pool.queue.lock().expect("pool queue poisoned");
+            loop {
+                q.retain(|j| !j.exhausted());
+                if let Some(j) = q.iter().find(|j| j.try_admit()) {
+                    break Arc::clone(j);
+                }
+                q = pool.work_cv.wait(q).expect("pool queue poisoned");
+            }
+        };
+        // Execute under the job's cap so nested parallel calls made by
+        // `f` stay inside the submitting scope's budget.
+        WORKER_CAP.set(job.cap);
+        job.participate();
+        WORKER_CAP.set(usize::MAX);
+        let mut q = pool.queue.lock().expect("pool queue poisoned");
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+}
+
+/// A result slot, written exactly once by whichever participant claims
+/// its index.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the claim protocol guarantees at most one writer per slot, and
+// the owner reads only after the `done` acquire/release handshake.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// The borrowed context a job's `data` pointer type-erases.
+struct RunCtx<'a, T, F> {
+    f: &'a F,
+    slots: &'a [Slot<T>],
+}
+
+/// Monomorphized job runner behind [`JobShared::run_one`].
+///
+/// # Safety
+///
+/// `data` must point to a live `RunCtx<T, F>` and `i` must be a
+/// uniquely-claimed index below `slots.len()`.
+unsafe fn run_one<T, F>(data: *const (), i: usize)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let ctx = &*data.cast::<RunCtx<'_, T, F>>();
+    let value = (ctx.f)(i);
+    *ctx.slots[i].0.get() = Some(value);
+}
+
+/// Runs `f(0..n)` on the persistent worker pool and returns the results
+/// in index order.
+///
+/// With one worker (or one job) this is a plain serial loop — no pool is
+/// touched, `QDA_WORKERS=1` never starts a thread. Otherwise the job is
+/// pushed on the injector queue, idle workers unpark to help, and the
+/// caller deals itself indices alongside them (see the module docs for
+/// the full discipline). Either way the returned `Vec` is ordered by job
+/// index, so folding it reproduces the serial loop's visit order
+/// bit-for-bit — determinism is the caller's to keep only in `f` itself
+/// (no shared mutable state, no time or thread-id dependence).
+///
+/// Nesting is allowed and deadlock-free: a job may itself call
+/// `run_indexed`, and the inner call is drained by its own submitter if
+/// every other worker is busy.
+///
+/// # Panics
+///
+/// Re-raises the first panic any job raised (after all claimed indices
+/// finished), and panics on an invalid `QDA_WORKERS` (see
+/// [`worker_count`]).
 pub fn run_indexed<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = worker_count().min(n);
-    if workers <= 1 {
+    let cap = WORKER_CAP.get();
+    if n <= 1 || cap <= 1 || worker_count() <= 1 {
         return (0..n).map(f).collect();
     }
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let result = f(i);
-                slots.lock().expect("worker panicked holding results")[i] = Some(result);
-            });
-        }
+    let pool = pool();
+    let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+    let ctx = RunCtx {
+        f: &f,
+        slots: &slots,
+    };
+    let job = Arc::new(JobShared {
+        n,
+        cap,
+        next: AtomicUsize::new(0),
+        joined: AtomicUsize::new(1),
+        done: AtomicUsize::new(0),
+        data: std::ptr::from_ref(&ctx).cast(),
+        run_one: run_one::<T, F>,
+        panic: Mutex::new(None),
+        finished: Mutex::new(()),
+        finished_cv: Condvar::new(),
     });
+    {
+        let mut q = pool.queue.lock().expect("pool queue poisoned");
+        q.push_back(Arc::clone(&job));
+    }
+    pool.work_cv.notify_all();
+    job.participate();
+    // Wait for indices claimed by other workers. The acquire load pairs
+    // with each participant's release increment, ordering all slot
+    // writes before the reads below.
+    {
+        let mut guard = job.finished.lock().expect("finish lock poisoned");
+        while job.done.load(Ordering::Acquire) < n {
+            guard = job.finished_cv.wait(guard).expect("finish lock poisoned");
+        }
+    }
+    {
+        let mut q = pool.queue.lock().expect("pool queue poisoned");
+        q.retain(|j| !Arc::ptr_eq(j, &job));
+    }
+    if let Some(payload) = job.panic.lock().expect("panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    drop(job);
     slots
-        .into_inner()
-        .expect("worker panicked holding results")
         .into_iter()
-        .map(|r| r.expect("every index was dealt to exactly one worker"))
+        .map(|s| {
+            s.0.into_inner()
+                .expect("every index was dealt to exactly one participant")
+        })
         .collect()
 }
 
@@ -97,5 +417,84 @@ mod tests {
     #[test]
     fn worker_count_is_positive() {
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn strict_parsing_accepts_positive_integers() {
+        assert_eq!(parse_workers(None), Ok(None));
+        assert_eq!(parse_workers(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_workers(Some(" 8 ")), Ok(Some(8)));
+    }
+
+    #[test]
+    fn strict_parsing_rejects_zero_and_garbage() {
+        for bad in ["0", "", "  ", "two", "O2", "-1", "1.5"] {
+            let err = parse_workers(Some(bad)).expect_err(bad);
+            assert!(err.contains("QDA_WORKERS"), "{err}");
+        }
+    }
+
+    #[test]
+    fn worker_cap_of_one_is_serial_and_restores() {
+        let out = with_worker_cap(1, || run_indexed(16, |i| i * 3));
+        assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(WORKER_CAP.get(), usize::MAX, "cap restored");
+    }
+
+    #[test]
+    fn worker_cap_restores_on_panic() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            with_worker_cap(2, || panic!("boom"));
+        }));
+        assert!(caught.is_err());
+        assert_eq!(WORKER_CAP.get(), usize::MAX, "cap restored after panic");
+    }
+
+    #[test]
+    fn caps_nest_by_minimum() {
+        with_worker_cap(4, || {
+            with_worker_cap(8, || assert_eq!(WORKER_CAP.get(), 4));
+            assert_eq!(WORKER_CAP.get(), 4);
+        });
+    }
+
+    #[test]
+    fn pool_panics_propagate_and_pool_survives() {
+        for round in 0..3 {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(32, |i| {
+                    assert!(i != 17, "round {round}: planted failure");
+                    i
+                })
+            }));
+            assert!(caught.is_err(), "planted panic must propagate");
+            // The pool keeps working after a panicked job.
+            assert_eq!(
+                run_indexed(8, |i| i + round),
+                (round..8 + round).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn nested_runs_complete_without_deadlock() {
+        let out = run_indexed(4, |outer| {
+            let inner = run_indexed(6, move |i| outer * 100 + i);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..4)
+            .map(|outer| (0..6).map(|i| outer * 100 + i).sum())
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn steady_state_spawns_no_threads() {
+        let _ = run_indexed(16, |i| i); // warm the pool
+        let before = spawned_threads();
+        for _ in 0..32 {
+            let _ = run_indexed(16, |i| i * 2);
+        }
+        assert_eq!(spawned_threads(), before, "hot path must not spawn");
     }
 }

@@ -1,0 +1,117 @@
+//! Integration tests for the persistent worker pool: determinism across
+//! warm/cold/serial runs, nesting under caps, and panic recovery — the
+//! contracts every sharded engine in the workspace leans on.
+
+use proptest::prelude::*;
+use qda_logic::par;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A job function whose output depends only on the index and the inputs —
+/// mixing enough that scheduling bugs (lost, duplicated, or reordered
+/// indices) corrupt the checksum instead of cancelling out.
+fn mix(seed: u64, i: usize) -> u64 {
+    let mut x = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x
+}
+
+proptest! {
+    /// Warm-pool, cold-equivalent, and forced-serial runs of the same job
+    /// list are byte-identical: the pool only ever changes *when* a job
+    /// runs, never its result or fold order.
+    #[test]
+    fn warm_cold_and_serial_runs_are_byte_identical(
+        seed in any::<u64>(),
+        n in 0usize..200,
+    ) {
+        let serial = par::with_worker_cap(1, || par::run_indexed(n, |i| mix(seed, i)));
+        // First pooled run may initialize (cold) …
+        let cold = par::run_indexed(n, |i| mix(seed, i));
+        // … later runs reuse the warm pool.
+        let warm = par::run_indexed(n, |i| mix(seed, i));
+        prop_assert_eq!(&cold, &serial);
+        prop_assert_eq!(&warm, &serial);
+    }
+
+    /// Every worker cap produces the same results (only the schedule
+    /// differs), including caps far above the actual worker count.
+    #[test]
+    fn every_cap_is_deterministic(seed in any::<u64>(), cap in 1usize..9) {
+        let reference = par::with_worker_cap(1, || par::run_indexed(64, |i| mix(seed, i)));
+        let capped = par::with_worker_cap(cap, || par::run_indexed(64, |i| mix(seed, i)));
+        prop_assert_eq!(capped, reference);
+    }
+}
+
+/// The DSE shape — an outer race whose jobs each run an inner portfolio —
+/// must drain without deadlock at any cap, because each submitter helps
+/// with its own job. Loops enough rounds to exercise queue contention.
+#[test]
+fn nested_pool_use_never_deadlocks() {
+    for round in 0..16 {
+        for cap in [1, 2, usize::MAX] {
+            let out = par::with_worker_cap(cap, || {
+                par::run_indexed(3, |outer| {
+                    let inner = par::run_indexed(4, move |i| {
+                        // Third level: resynthesis under a narrowed cap.
+                        par::with_worker_cap(2, || {
+                            par::run_indexed(2, move |j| mix(round, outer * 100 + i * 10 + j))
+                                .into_iter()
+                                .fold(0u64, u64::wrapping_add)
+                        })
+                    });
+                    inner.into_iter().fold(0u64, u64::wrapping_add)
+                })
+            });
+            let expected: Vec<u64> = (0..3)
+                .map(|outer| {
+                    (0..4)
+                        .map(|i| {
+                            (0..2)
+                                .map(|j| mix(round, outer * 100 + i * 10 + j))
+                                .fold(0u64, u64::wrapping_add)
+                        })
+                        .fold(0u64, u64::wrapping_add)
+                })
+                .collect();
+            assert_eq!(out, expected, "cap {cap}, round {round}");
+        }
+    }
+}
+
+/// A panicking job is re-raised on the submitter and leaves the pool
+/// healthy for unrelated follow-up work — nested or not.
+#[test]
+fn pool_survives_panics_inside_nested_jobs() {
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        par::run_indexed(4, |outer| {
+            let inner = par::run_indexed(4, |i| {
+                assert!(outer * 4 + i != 9, "planted failure");
+                i
+            });
+            inner.len()
+        })
+    }));
+    assert!(caught.is_err(), "the planted panic must propagate");
+    let out = par::run_indexed(32, |i| i * i);
+    assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+}
+
+/// Steady-state parallel work spawns zero threads: the pool is filled
+/// once and reused for every later call, whatever the job mix.
+#[test]
+fn steady_state_reuses_the_pool_across_call_shapes() {
+    let _ = par::run_indexed(8, |i| i); // warm
+    let before = par::spawned_threads();
+    for n in [1usize, 2, 7, 64, 200] {
+        let _ = par::run_indexed(n, |i| mix(0xDEAD_BEEF, i));
+        let _ = par::with_worker_cap(2, || par::run_indexed(n, |i| mix(1, i)));
+    }
+    assert_eq!(
+        par::spawned_threads(),
+        before,
+        "steady-state calls must never spawn"
+    );
+}

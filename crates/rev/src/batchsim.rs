@@ -36,29 +36,66 @@
 //! ```
 
 use crate::gate::Gate;
-use crate::packed::PackedGate;
+use crate::packed::{GateArena, PackedGate};
 
 /// Default batch granularity for chunked bit-parallel runs (16 words per
 /// lane): large enough to amortize the per-gate dispatch over the gate
 /// list, small enough to keep a batch of a many-line circuit in cache.
 pub const BATCH_STATES: usize = 1024;
 
+/// Lane words per vectorized kernel step: the hot gate-application loops
+/// of [`BatchState::apply_arena`] process fixed `[u64; LANE_CHUNK]`
+/// blocks (512 bits — one or two SIMD registers on every current target)
+/// with no per-gate branch in the inner loop, so the compiler
+/// auto-vectorizes them. A full [`BATCH_STATES`] batch is exactly two
+/// chunks per lane.
+pub const LANE_CHUNK: usize = 8;
+
 /// The consecutive inputs `0..total` as `(base, count)` ranges, chunked
-/// [`BATCH_STATES`] at a time (the shared driver of exhaustive
-/// verification and permutation extraction). The ranges are pure
-/// arithmetic — no input vector is materialized; callers synthesize the
-/// lanes directly with [`BatchState::load_consecutive`].
+/// [`BATCH_STATES`] at a time.
+#[cfg(test)]
 pub(crate) fn consecutive_batches(total: u64) -> impl Iterator<Item = (u64, usize)> {
-    let mut base = 0;
+    consecutive_batches_in(0, total)
+}
+
+/// The consecutive inputs `start..end` as `(base, count)` ranges, chunked
+/// [`BATCH_STATES`] at a time (the shared driver of exhaustive
+/// verification and permutation extraction; `start` must be
+/// [`BATCH_STATES`]-aligned so every batch base stays word-aligned for
+/// [`BatchState::load_consecutive`]). The ranges are pure arithmetic — no
+/// input vector is materialized; callers synthesize the lanes directly
+/// with [`BatchState::load_consecutive`].
+pub(crate) fn consecutive_batches_in(start: u64, end: u64) -> impl Iterator<Item = (u64, usize)> {
+    debug_assert!(start.is_multiple_of(BATCH_STATES as u64));
+    let mut base = start;
     std::iter::from_fn(move || {
-        if base >= total {
+        if base >= end {
             return None;
         }
-        let count = (total - base).min(BATCH_STATES as u64) as usize;
+        let count = (end - base).min(BATCH_STATES as u64) as usize;
         let range = (base, count);
         base += count as u64;
         Some(range)
     })
+}
+
+/// Consecutive batches grouped into spans for pool sharding: each worker
+/// job sweeps this many [`BATCH_STATES`] batches with one reused
+/// [`BatchState`], so sharding costs one allocation per *job* instead of
+/// one per batch. The span size is fixed — never derived from the worker
+/// count — so the job structure (and hence every fold order and witness)
+/// is identical at any parallelism.
+pub(crate) const SPAN_BATCHES: u64 = 4;
+
+/// Splits `0..total` into [`SPAN_BATCHES`]-batch spans; returns the span
+/// width in states and the number of spans. Span `j` covers
+/// `j * width .. min((j + 1) * width, total)`.
+pub(crate) fn span_jobs(total: u64) -> (u64, usize) {
+    let width = BATCH_STATES as u64 * SPAN_BATCHES;
+    (
+        width,
+        usize::try_from(total.div_ceil(width)).expect("span count fits usize"),
+    )
 }
 
 /// Transposed lane word for value-bit `i` of the 64 consecutive values
@@ -121,6 +158,30 @@ impl BatchState {
     /// Number of lines.
     pub fn num_lines(&self) -> usize {
         self.num_lines
+    }
+
+    /// Resets the batch to all-zero lanes for `num_states` states,
+    /// **reusing** the lane allocation (capacity permitting). This is the
+    /// buffer-recycling entry point for `consecutive_batches`-style loops
+    /// (exhaustive verification, permutation extraction, optimizer
+    /// replay): one `BatchState` per worker, reset per batch, instead of
+    /// a fresh heap allocation per batch.
+    pub fn reset(&mut self, num_states: usize) {
+        self.num_states = num_states;
+        self.words_per_line = num_states.div_ceil(64).max(1);
+        self.lanes.clear();
+        self.lanes.resize(self.num_lines * self.words_per_line, 0);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the lane allocation (the
+    /// allocation-free counterpart of `clone()` for snapshot-and-replay
+    /// loops).
+    pub fn copy_from(&mut self, other: &Self) {
+        self.num_lines = other.num_lines;
+        self.num_states = other.num_states;
+        self.words_per_line = other.words_per_line;
+        self.lanes.clear();
+        self.lanes.extend_from_slice(&other.lanes);
     }
 
     /// Number of parallel states.
@@ -341,6 +402,86 @@ impl BatchState {
             self.lanes[target + w] ^= f;
         }
     }
+
+    /// Applies a whole gate cascade to all states, block-major: for each
+    /// [`LANE_CHUNK`]-word block of the lanes, every gate is applied to
+    /// that block before moving on (states are independent, so the
+    /// per-block order is immaterial — but the block's lane words stay
+    /// hot in cache across the entire cascade). The inner loops run over
+    /// fixed `[u64; LANE_CHUNK]` arrays with the control polarity folded
+    /// into a branchless XOR mask, so they auto-vectorize; nothing is
+    /// allocated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena's line space exceeds the batch's.
+    pub fn apply_arena(&mut self, arena: &GateArena) {
+        assert!(
+            arena.num_lines() <= self.num_lines,
+            "arena on {} lines exceeds the {}-line batch",
+            arena.num_lines(),
+            self.num_lines
+        );
+        let wpl = self.words_per_line;
+        let full = wpl - wpl % LANE_CHUNK;
+        let mut base = 0;
+        while base < full {
+            for (_, g) in arena.iter() {
+                self.apply_gate_chunk(&g, base);
+            }
+            base += LANE_CHUNK;
+        }
+        if base < wpl {
+            for (_, g) in arena.iter() {
+                self.apply_gate_tail(&g, base, wpl - base);
+            }
+        }
+    }
+
+    /// Applies one gate to the full-width lane block at word offset
+    /// `base`: fixed-size loops, branchless polarity (`lane ^ inv` with
+    /// `inv ∈ {0, !0}`), no bounds checks surviving into the loop body.
+    #[inline]
+    fn apply_gate_chunk(&mut self, gate: &PackedGate<'_>, base: usize) {
+        let wpl = self.words_per_line;
+        let mut fire = [u64::MAX; LANE_CHUNK];
+        for c in gate.controls() {
+            let inv = if c.is_positive() { 0 } else { u64::MAX };
+            let start = c.line() * wpl + base;
+            let lane: &[u64; LANE_CHUNK] = self.lanes[start..start + LANE_CHUNK]
+                .try_into()
+                .expect("chunk is LANE_CHUNK words");
+            for k in 0..LANE_CHUNK {
+                fire[k] &= lane[k] ^ inv;
+            }
+        }
+        let start = gate.target() * wpl + base;
+        let target: &mut [u64; LANE_CHUNK] = (&mut self.lanes[start..start + LANE_CHUNK])
+            .try_into()
+            .expect("chunk is LANE_CHUNK words");
+        for k in 0..LANE_CHUNK {
+            target[k] ^= fire[k];
+        }
+    }
+
+    /// Applies one gate to the ragged tail block (`len < LANE_CHUNK`
+    /// words at offset `base`) — same branchless shape, variable width.
+    #[inline]
+    fn apply_gate_tail(&mut self, gate: &PackedGate<'_>, base: usize, len: usize) {
+        let wpl = self.words_per_line;
+        let mut fire = [u64::MAX; LANE_CHUNK];
+        for c in gate.controls() {
+            let inv = if c.is_positive() { 0 } else { u64::MAX };
+            let start = c.line() * wpl + base;
+            for (f, lane) in fire.iter_mut().zip(&self.lanes[start..start + len]) {
+                *f &= lane ^ inv;
+            }
+        }
+        let start = gate.target() * wpl + base;
+        for (lane, f) in self.lanes[start..start + len].iter_mut().zip(&fire) {
+            *lane ^= f;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -500,6 +641,82 @@ mod tests {
     #[should_panic(expected = "word boundary")]
     fn load_consecutive_rejects_unaligned_bases() {
         BatchState::zeros(2, 4).load_consecutive(&[0, 1], 7);
+    }
+
+    /// A mixed-polarity cascade exercising >64 lines (two mask words).
+    fn wide_cascade() -> Circuit {
+        let mut c = Circuit::new(70);
+        c.not(69);
+        c.mct(vec![Control::positive(0), Control::negative(69)], 65);
+        c.cnot(65, 1);
+        c.mct(
+            vec![
+                Control::negative(1),
+                Control::positive(2),
+                Control::positive(68),
+            ],
+            3,
+        );
+        c.toffoli(3, 0, 69);
+        c
+    }
+
+    #[test]
+    fn apply_arena_matches_per_gate_apply_across_widths() {
+        // Word counts covering: sub-chunk tail only (1, 2), exactly one
+        // chunk (8), chunks + tail (19), and the hot two-chunk shape (16).
+        for states in [40, 100, 8 * 64, 19 * 64 - 5, BATCH_STATES] {
+            let c = wide_cascade();
+            let mut by_arena = BatchState::zeros(70, states);
+            for s in 0..states {
+                by_arena.set(s % 70, s, s % 3 == 0);
+            }
+            let mut by_gate = by_arena.clone();
+            by_arena.apply_arena(c.packed());
+            let mut fire = vec![0u64; by_gate.words_per_line()];
+            for (_, g) in c.packed().iter() {
+                by_gate.apply_packed(&g, &mut fire);
+            }
+            assert_eq!(by_arena, by_gate, "{states} states");
+        }
+    }
+
+    #[test]
+    fn reset_reuses_the_allocation_and_zeroes_everything() {
+        let mut b = BatchState::zeros(5, 1000);
+        b.load_register(&[0, 1, 2], &(0..1000).collect::<Vec<u64>>());
+        b.reset(130);
+        assert_eq!(b.num_states(), 130);
+        assert_eq!(b.words_per_line(), 3);
+        assert_eq!(b, BatchState::zeros(5, 130), "reset state is pristine");
+        // Growing again works too, and a reused batch behaves like a
+        // fresh one end to end.
+        b.reset(200);
+        let mut fresh = BatchState::zeros(5, 200);
+        let lines: Vec<usize> = (0..5).collect();
+        b.load_consecutive(&lines, 64);
+        fresh.load_consecutive(&lines, 64);
+        let c = {
+            let mut c = Circuit::new(5);
+            c.toffoli(0, 1, 4);
+            c.cnot(4, 2);
+            c
+        };
+        b.apply_arena(c.packed());
+        fresh.apply_arena(c.packed());
+        assert_eq!(b, fresh);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let mut a = BatchState::zeros(4, 100);
+        a.load_register(
+            &[0, 1, 2, 3],
+            &(0..100).map(|k| k * 5 % 16).collect::<Vec<u64>>(),
+        );
+        let mut b = BatchState::zeros(9, 3);
+        b.copy_from(&a);
+        assert_eq!(b, a.clone());
     }
 
     #[test]

@@ -5,11 +5,12 @@
 //! [`Gate`] view is materialized only at API boundaries via
 //! [`Circuit::gates`].
 
-use crate::batchsim::{consecutive_batches, BatchState};
+use crate::batchsim::{consecutive_batches_in, span_jobs, BatchState};
 use crate::cost::CircuitCost;
 use crate::gate::{Control, Gate};
 use crate::packed::GateArena;
 use crate::state::BitState;
+use qda_logic::par;
 use std::fmt;
 
 /// The explicit-permutation width cap: a circuit wider than this cannot
@@ -224,16 +225,13 @@ impl Circuit {
         s
     }
 
-    /// Simulates the circuit on a batch of states (in place), applying
-    /// each gate to all states at once via the transposed bit-parallel
-    /// representation of [`BatchState`]: the control lanes are AND-ed
-    /// word-by-word into one reused fire buffer, then XOR-ed into the
-    /// target lane — no per-gate decoding or allocation.
+    /// Simulates the circuit on a batch of states (in place) with the
+    /// vectorized block-major kernel ([`BatchState::apply_arena`]): the
+    /// cascade is applied [`crate::batchsim::LANE_CHUNK`]-word block by
+    /// block, with branchless fixed-width inner loops and zero heap
+    /// allocation.
     pub fn apply_batch(&self, state: &mut BatchState) {
-        let mut fire = vec![0u64; state.words_per_line()];
-        for (_, g) in self.arena.iter() {
-            state.apply_packed(&g, &mut fire);
-        }
+        state.apply_arena(&self.arena);
     }
 
     /// Simulates many ≤64-line input words at once with the bit-parallel
@@ -255,10 +253,13 @@ impl Circuit {
     }
 
     /// The permutation the circuit realizes over all `2^n` basis states,
-    /// computed in bit-parallel batches. The consecutive input blocks are
-    /// synthesized directly into the batch lanes
-    /// ([`BatchState::load_consecutive`]) — no input vector is ever
-    /// materialized.
+    /// computed in bit-parallel batches sharded across the worker pool
+    /// (`qda_logic::par`): each pool job sweeps one span of consecutive
+    /// batches with a single reused [`BatchState`], and the spans are
+    /// concatenated in index order — the table is byte-identical at any
+    /// worker count. The consecutive input blocks are synthesized
+    /// directly into the batch lanes ([`BatchState::load_consecutive`])
+    /// — no input vector is ever materialized.
     ///
     /// # Errors
     ///
@@ -276,12 +277,23 @@ impl Circuit {
         }
         let size = 1u64 << self.num_lines;
         let all_lines: Vec<usize> = (0..self.num_lines).collect();
+        let (span, jobs) = span_jobs(size);
+        let chunks = par::run_indexed(jobs, |job| {
+            let lo = job as u64 * span;
+            let hi = (lo + span).min(size);
+            let mut out = Vec::with_capacity((hi - lo) as usize);
+            let mut state = BatchState::zeros(self.num_lines, 0);
+            for (base, count) in consecutive_batches_in(lo, hi) {
+                state.reset(count);
+                state.load_consecutive(&all_lines, base);
+                state.apply_arena(&self.arena);
+                out.extend(state.read_register(&all_lines));
+            }
+            out
+        });
         let mut perm = Vec::with_capacity(size as usize);
-        for (base, count) in consecutive_batches(size) {
-            let mut state = BatchState::zeros(self.num_lines, count);
-            state.load_consecutive(&all_lines, base);
-            self.apply_batch(&mut state);
-            perm.extend(state.read_register(&all_lines));
+        for chunk in chunks {
+            perm.extend(chunk);
         }
         Ok(perm)
     }

@@ -22,9 +22,10 @@
 //! builds to a one-iteration loop — `verify_computes` then returned
 //! [`VerifyOutcome::Verified`] without checking anything.)
 
-use crate::batchsim::{consecutive_batches, BatchState, BATCH_STATES};
+use crate::batchsim::{consecutive_batches_in, span_jobs, BatchState, BATCH_STATES};
 use crate::circuit::{Circuit, TooWideError, PERMUTATION_LINE_LIMIT};
 use crate::state::BitState;
+use qda_logic::par;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// What to check and how hard to try.
@@ -177,24 +178,27 @@ fn check_batch<F: Fn(u64) -> u64>(
         output_lines,
         oracle,
         options,
-        state,
+        &mut state,
         inputs.iter().copied(),
     )
 }
 
-/// Checks the consecutive inputs `base..base + count` bit-parallel. The
-/// inputs are never materialized: the lanes are synthesized in place by
+/// Checks the consecutive inputs `base..base + count` bit-parallel in a
+/// caller-provided (reused) batch buffer. The inputs are never
+/// materialized: the lanes are synthesized in place by
 /// [`BatchState::load_consecutive`].
+#[allow(clippy::too_many_arguments)]
 fn check_consecutive_batch<F: Fn(u64) -> u64>(
     circuit: &Circuit,
     input_lines: &[usize],
     output_lines: &[usize],
     oracle: &F,
     options: &VerifyOptions,
+    state: &mut BatchState,
     base: u64,
     count: usize,
 ) -> VerifyOutcome {
-    let mut state = BatchState::zeros(circuit.num_lines(), count);
+    state.reset(count);
     state.load_consecutive(input_lines, base);
     check_loaded_batch(
         circuit,
@@ -215,7 +219,7 @@ fn check_loaded_batch<F, I>(
     output_lines: &[usize],
     oracle: &F,
     options: &VerifyOptions,
-    mut state: BatchState,
+    state: &mut BatchState,
     inputs: I,
 ) -> VerifyOutcome
 where
@@ -232,7 +236,7 @@ where
     } else {
         Vec::new()
     };
-    circuit.apply_batch(&mut state);
+    circuit.apply_batch(state);
 
     let actual = state.read_register(output_lines);
     let mut clean = actual
@@ -242,13 +246,13 @@ where
     if clean {
         clean = preserved
             .iter()
-            .all(|(l, before)| lanes_equal(&state, state.lane(*l), before));
+            .all(|(l, before)| lanes_equal(state, state.lane(*l), before));
     }
     if clean && options.check_ancilla_clean {
         let zero = vec![0u64; state.words_per_line()];
         clean = (0..circuit.num_lines())
             .filter(|l| !output_lines.contains(l) && !input_lines.contains(l))
-            .all(|l| lanes_equal(&state, state.lane(l), &zero));
+            .all(|l| lanes_equal(state, state.lane(l), &zero));
     }
     if clean {
         return VerifyOutcome::Verified;
@@ -276,10 +280,17 @@ where
 /// [`VerifyOptions::batch`] is off, and report the same witness either
 /// way.
 ///
+/// Batch sweeps are sharded across the worker pool (`qda_logic::par`):
+/// exhaustive enumeration hands each pool job a span of consecutive
+/// batches (swept with one reused [`BatchState`]), the sampling path
+/// hands each job one pre-drawn batch; results fold in span order taking
+/// the first failure, so the outcome — witness included — is
+/// byte-identical to the serial sweep at any worker count.
+///
 /// # Panics
 ///
 /// Panics if more than 64 input or output lines are given.
-pub fn verify_computes<F: Fn(u64) -> u64>(
+pub fn verify_computes<F: Fn(u64) -> u64 + Sync>(
     circuit: &Circuit,
     input_lines: &[usize],
     output_lines: &[usize],
@@ -291,16 +302,29 @@ pub fn verify_computes<F: Fn(u64) -> u64>(
     if n < 64 && n <= options.exhaustive_limit {
         let total = 1u64 << n;
         if options.batch {
-            for (base, count) in consecutive_batches(total) {
-                let r = check_consecutive_batch(
-                    circuit,
-                    input_lines,
-                    output_lines,
-                    &oracle,
-                    options,
-                    base,
-                    count,
-                );
+            let (span, jobs) = span_jobs(total);
+            let spans = par::run_indexed(jobs, |job| {
+                let lo = job as u64 * span;
+                let hi = (lo + span).min(total);
+                let mut state = BatchState::zeros(circuit.num_lines(), 0);
+                for (base, count) in consecutive_batches_in(lo, hi) {
+                    let r = check_consecutive_batch(
+                        circuit,
+                        input_lines,
+                        output_lines,
+                        &oracle,
+                        options,
+                        &mut state,
+                        base,
+                        count,
+                    );
+                    if !r.is_ok() {
+                        return r;
+                    }
+                }
+                VerifyOutcome::Verified
+            });
+            for r in spans {
                 if !r.is_ok() {
                     return r;
                 }
@@ -318,22 +342,29 @@ pub fn verify_computes<F: Fn(u64) -> u64>(
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         let mask = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
         if options.batch {
+            // Draw every sample up front (same RNG stream as the serial
+            // loop), then shard whole batches across the pool.
+            let mut batches: Vec<Vec<u64>> = Vec::new();
             let mut remaining = options.random_samples;
             while remaining > 0 {
                 let take = remaining.min(BATCH_STATES as u64);
-                let inputs: Vec<u64> = (0..take).map(|_| rng.gen::<u64>() & mask).collect();
-                let r = check_batch(
+                batches.push((0..take).map(|_| rng.gen::<u64>() & mask).collect());
+                remaining -= take;
+            }
+            let results = par::run_indexed(batches.len(), |bi| {
+                check_batch(
                     circuit,
                     input_lines,
                     output_lines,
                     &oracle,
                     options,
-                    &inputs,
-                );
+                    &batches[bi],
+                )
+            });
+            for r in results {
                 if !r.is_ok() {
                     return r;
                 }
-                remaining -= take;
             }
         } else {
             for _ in 0..options.random_samples {
@@ -381,32 +412,46 @@ pub fn verify_permutation(circuit: &Circuit, perm: &[u64]) -> Result<VerifyOutco
         circuit.num_lines()
     );
     let all_lines: Vec<usize> = (0..circuit.num_lines()).collect();
-    for (base, count) in consecutive_batches(size) {
-        let mut state = BatchState::zeros(circuit.num_lines(), count);
-        state.load_consecutive(&all_lines, base);
-        circuit.apply_batch(&mut state);
-        let actual = state.read_register(&all_lines);
-        for (k, input) in (base..base + count as u64).enumerate() {
-            let expected = perm[input as usize];
-            if actual[k] != expected {
-                // Scalar re-run: report a witness independent of the
-                // batch engine — and if the scalar value disagrees with
-                // the batch value *and* matches the permutation, the
-                // batch engine itself is broken; fail loudly instead of
-                // returning an incoherent Mismatch.
-                let scalar = circuit.simulate_u64(input);
-                assert!(
-                    scalar != expected,
-                    "batch simulation flagged input {input} (got {}, expected {expected}) \
-                     but scalar simulation agrees with the permutation",
-                    actual[k]
-                );
-                return Ok(VerifyOutcome::Mismatch {
-                    input,
-                    expected,
-                    actual: scalar,
-                });
+    let (span, jobs) = span_jobs(size);
+    let spans = par::run_indexed(jobs, |job| {
+        let lo = job as u64 * span;
+        let hi = (lo + span).min(size);
+        let mut state = BatchState::zeros(circuit.num_lines(), 0);
+        for (base, count) in consecutive_batches_in(lo, hi) {
+            state.reset(count);
+            state.load_consecutive(&all_lines, base);
+            circuit.apply_batch(&mut state);
+            let actual = state.read_register(&all_lines);
+            for (k, input) in (base..base + count as u64).enumerate() {
+                let expected = perm[input as usize];
+                if actual[k] != expected {
+                    // Scalar re-run: report a witness independent of the
+                    // batch engine — and if the scalar value disagrees with
+                    // the batch value *and* matches the permutation, the
+                    // batch engine itself is broken; fail loudly instead of
+                    // returning an incoherent Mismatch.
+                    let scalar = circuit.simulate_u64(input);
+                    assert!(
+                        scalar != expected,
+                        "batch simulation flagged input {input} (got {}, expected {expected}) \
+                         but scalar simulation agrees with the permutation",
+                        actual[k]
+                    );
+                    return VerifyOutcome::Mismatch {
+                        input,
+                        expected,
+                        actual: scalar,
+                    };
+                }
             }
+        }
+        VerifyOutcome::Verified
+    });
+    // Spans fold in index order, so the first failure is the same witness
+    // the serial sweep would report.
+    for r in spans {
+        if !r.is_ok() {
+            return Ok(r);
         }
     }
     Ok(VerifyOutcome::Verified)

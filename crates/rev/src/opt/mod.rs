@@ -74,7 +74,7 @@
 
 pub mod rules;
 
-use crate::batchsim::{consecutive_batches, BatchState, BATCH_STATES};
+use crate::batchsim::{consecutive_batches_in, span_jobs, BatchState, BATCH_STATES};
 use crate::circuit::Circuit;
 use crate::packed::{GateArena, PackedGateBuf};
 use qda_logic::par;
@@ -577,65 +577,87 @@ pub fn equivalence_witness(original: &Circuit, optimized: &Circuit) -> Option<Op
     let n = original.num_lines();
     if n <= EXHAUSTIVE_LINE_LIMIT {
         let all_lines: Vec<usize> = (0..n).collect();
-        for (base, count) in consecutive_batches(1u64 << n) {
-            let mut sa = BatchState::zeros(n, count);
-            sa.load_consecutive(&all_lines, base);
-            let mut sb = sa.clone();
-            original.apply_batch(&mut sa);
-            optimized.apply_batch(&mut sb);
-            let a = sa.read_register(&all_lines);
-            let b = sb.read_register(&all_lines);
-            for (k, x) in (base..base + count as u64).enumerate() {
-                if a[k] != b[k] {
-                    return Some(OptMismatch {
-                        input: vec![x],
-                        original: vec![a[k]],
-                        optimized: vec![b[k]],
-                    });
+        let total = 1u64 << n;
+        let (span, jobs) = span_jobs(total);
+        let spans = par::run_indexed(jobs, |job| {
+            let lo = job as u64 * span;
+            let hi = (lo + span).min(total);
+            let mut sa = BatchState::zeros(n, 0);
+            let mut sb = BatchState::zeros(n, 0);
+            for (base, count) in consecutive_batches_in(lo, hi) {
+                sa.reset(count);
+                sa.load_consecutive(&all_lines, base);
+                sb.copy_from(&sa);
+                original.apply_batch(&mut sa);
+                optimized.apply_batch(&mut sb);
+                let a = sa.read_register(&all_lines);
+                let b = sb.read_register(&all_lines);
+                for (k, x) in (base..base + count as u64).enumerate() {
+                    if a[k] != b[k] {
+                        return Some(OptMismatch {
+                            input: vec![x],
+                            original: vec![a[k]],
+                            optimized: vec![b[k]],
+                        });
+                    }
                 }
             }
-        }
-        return None;
+            None
+        });
+        // Spans fold in index order: the first witness is the one the
+        // serial sweep would report.
+        return spans.into_iter().flatten().next();
     }
     let all_lines: Vec<usize> = (0..n).collect();
     let chunks: Vec<&[usize]> = all_lines.chunks(64).collect();
+    // Draw every sample up front (same RNG stream as the serial loop),
+    // then shard whole batches across the pool.
     let mut rng = StdRng::seed_from_u64(0x0917_C3EC);
+    let mut batches: Vec<Vec<Vec<u64>>> = Vec::new();
     let mut remaining = SAMPLED_STATES;
     while remaining > 0 {
         let take = remaining.min(BATCH_STATES as u64) as usize;
-        let chunk_values: Vec<Vec<u64>> = chunks
-            .iter()
-            .map(|lines| {
-                let mask = if lines.len() == 64 {
-                    u64::MAX
-                } else {
-                    (1u64 << lines.len()) - 1
-                };
-                (0..take).map(|_| rng.gen::<u64>() & mask).collect()
-            })
-            .collect();
+        batches.push(
+            chunks
+                .iter()
+                .map(|lines| {
+                    let mask = if lines.len() == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << lines.len()) - 1
+                    };
+                    (0..take).map(|_| rng.gen::<u64>() & mask).collect()
+                })
+                .collect(),
+        );
+        remaining -= take as u64;
+    }
+    let results = par::run_indexed(batches.len(), |bi| {
+        let chunk_values = &batches[bi];
+        let take = chunk_values[0].len();
         let mut sa = BatchState::zeros(n, take);
-        let mut sb = BatchState::zeros(n, take);
-        for (lines, values) in chunks.iter().zip(&chunk_values) {
+        for (lines, values) in chunks.iter().zip(chunk_values) {
             sa.load_register(lines, values);
-            sb.load_register(lines, values);
         }
+        let mut sb = BatchState::zeros(n, 0);
+        sb.copy_from(&sa);
         original.apply_batch(&mut sa);
         optimized.apply_batch(&mut sb);
         let outs_a: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
         let outs_b: Vec<Vec<u64>> = chunks.iter().map(|lines| sb.read_register(lines)).collect();
-        for k in 0..take {
+        (0..take).find_map(|k| {
             if outs_a.iter().zip(&outs_b).any(|(a, b)| a[k] != b[k]) {
-                return Some(OptMismatch {
+                Some(OptMismatch {
                     input: chunk_values.iter().map(|v| v[k]).collect(),
                     original: outs_a.iter().map(|v| v[k]).collect(),
                     optimized: outs_b.iter().map(|v| v[k]).collect(),
-                });
+                })
+            } else {
+                None
             }
-        }
-        remaining -= take as u64;
-    }
-    None
+        })
+    });
+    results.into_iter().flatten().next()
 }
 
 /// [`equivalence_witness`] restricted to the **assumed state space**:
@@ -675,13 +697,14 @@ pub fn equivalence_witness_assuming(
     let free_lines: Vec<usize> = (0..n).filter(|&l| !zero[l]).collect();
     let all_lines: Vec<usize> = (0..n).collect();
     let chunks: Vec<&[usize]> = all_lines.chunks(64).collect();
-    // Compares one batch of prepared start states and returns a witness
-    // on the first divergence.
-    let run_batch = |mut sa: BatchState, take: usize| {
-        let mut sb = sa.clone();
+    // Compares one batch of prepared start states (in a caller-provided,
+    // reused pair of buffers) and returns a witness on the first
+    // divergence.
+    let run_batch = |sa: &mut BatchState, sb: &mut BatchState, take: usize| {
+        sb.copy_from(sa);
         let ins: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
-        original.apply_batch(&mut sa);
-        optimized.apply_batch(&mut sb);
+        original.apply_batch(sa);
+        optimized.apply_batch(sb);
         let outs_a: Vec<Vec<u64>> = chunks.iter().map(|lines| sa.read_register(lines)).collect();
         let outs_b: Vec<Vec<u64>> = chunks.iter().map(|lines| sb.read_register(lines)).collect();
         (0..take).find_map(|k| {
@@ -697,36 +720,58 @@ pub fn equivalence_witness_assuming(
         })
     };
     if free_lines.len() <= EXHAUSTIVE_LINE_LIMIT {
-        for (base, count) in consecutive_batches(1u64 << free_lines.len()) {
-            let mut sa = BatchState::zeros(n, count);
-            sa.load_consecutive(&free_lines, base);
-            if let Some(w) = run_batch(sa, count) {
-                return Some(w);
+        let total = 1u64 << free_lines.len();
+        let (span, jobs) = span_jobs(total);
+        let spans = par::run_indexed(jobs, |job| {
+            let lo = job as u64 * span;
+            let hi = (lo + span).min(total);
+            let mut sa = BatchState::zeros(n, 0);
+            let mut sb = BatchState::zeros(n, 0);
+            for (base, count) in consecutive_batches_in(lo, hi) {
+                sa.reset(count);
+                sa.load_consecutive(&free_lines, base);
+                if let Some(w) = run_batch(&mut sa, &mut sb, count) {
+                    return Some(w);
+                }
             }
-        }
-        return None;
+            None
+        });
+        return spans.into_iter().flatten().next();
     }
     let free_chunks: Vec<&[usize]> = free_lines.chunks(64).collect();
+    // Same up-front draw as `equivalence_witness`: the RNG stream is
+    // identical to the serial loop's, one whole batch per pool job.
     let mut rng = StdRng::seed_from_u64(0x0917_C3EC);
+    let mut batches: Vec<Vec<Vec<u64>>> = Vec::new();
     let mut remaining = SAMPLED_STATES;
     while remaining > 0 {
         let take = remaining.min(BATCH_STATES as u64) as usize;
-        let mut sa = BatchState::zeros(n, take);
-        for lines in &free_chunks {
-            let mask = if lines.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << lines.len()) - 1
-            };
-            let values: Vec<u64> = (0..take).map(|_| rng.gen::<u64>() & mask).collect();
-            sa.load_register(lines, &values);
-        }
-        if let Some(w) = run_batch(sa, take) {
-            return Some(w);
-        }
+        batches.push(
+            free_chunks
+                .iter()
+                .map(|lines| {
+                    let mask = if lines.len() == 64 {
+                        u64::MAX
+                    } else {
+                        (1u64 << lines.len()) - 1
+                    };
+                    (0..take).map(|_| rng.gen::<u64>() & mask).collect()
+                })
+                .collect(),
+        );
         remaining -= take as u64;
     }
-    None
+    let results = par::run_indexed(batches.len(), |bi| {
+        let values = &batches[bi];
+        let take = values[0].len();
+        let mut sa = BatchState::zeros(n, take);
+        for (lines, vals) in free_chunks.iter().zip(values) {
+            sa.load_register(lines, vals);
+        }
+        let mut sb = BatchState::zeros(n, 0);
+        run_batch(&mut sa, &mut sb, take)
+    });
+    results.into_iter().flatten().next()
 }
 
 /// [`optimize`], then machine-check the rewritten circuit against the
