@@ -1,11 +1,21 @@
-//! A minimal JSON writer — just enough to serialize bench results.
+//! A minimal JSON value layer — just enough to serialize bench results
+//! and to decode `qda-server` requests.
 //!
 //! The container this workspace builds in has no crates.io access, so the
 //! structured results layer ships its own writer instead of pulling in
 //! `serde_json`. Output is deterministic: object keys render in insertion
-//! order, floats with fixed precision via [`Json::fixed`].
+//! order, floats with fixed precision via [`Json::fixed`]. The layer is
+//! panic-free: non-finite floats render as `null` (JSON has no NaN/Inf)
+//! instead of aborting the emitting process, and [`Json::parse`] rejects
+//! malformed or hostile input (unbounded nesting) with a typed error
+//! rather than recursing into a stack overflow.
 
 use std::fmt::Write as _;
+
+/// Maximum container nesting [`Json::parse`] accepts. Deeper documents
+/// are rejected with a [`JsonParseError`] instead of risking unbounded
+/// recursion on hostile input.
+pub const MAX_PARSE_DEPTH: usize = 64;
 
 /// A JSON value.
 ///
@@ -55,8 +65,14 @@ impl Json {
     /// A number with fixed decimal precision (`Json::fixed(1.5, 3)` →
     /// `1.500`). Fixed formatting keeps output byte-stable across runs of
     /// equal measurements.
+    ///
+    /// JSON has no NaN/Inf, so non-finite values render as `null` — a
+    /// degenerate measurement (e.g. an average over zero samples) must
+    /// never abort the emitting process.
     pub fn fixed(value: f64, decimals: usize) -> Self {
-        assert!(value.is_finite(), "JSON has no NaN/Inf");
+        if !value.is_finite() {
+            return Json::Null;
+        }
         Json::Num(format!("{value:.decimals$}"))
     }
 
@@ -70,6 +86,102 @@ impl Json {
         let mut out = String::new();
         self.write(&mut out);
         out
+    }
+
+    /// Parses a JSON document (objects, arrays, strings with escapes,
+    /// numbers, booleans, `null`).
+    ///
+    /// Integral non-negative numbers that fit `u64` become [`Json::Int`];
+    /// every other number keeps its source spelling as [`Json::Num`]
+    /// (read it back with [`Json::as_f64`]). Nesting beyond
+    /// [`MAX_PARSE_DEPTH`] is rejected.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qda_bench::json::Json;
+    ///
+    /// let v = Json::parse(r#"{"op": "synth", "n": 6}"#).unwrap();
+    /// assert_eq!(v.get("op").and_then(Json::as_str), Some("synth"));
+    /// assert_eq!(v.get("n").and_then(Json::as_u64), Some(6));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] naming the byte offset of the first
+    /// malformed construct (including trailing garbage after the value).
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer ([`Json::Int`], or a
+    /// [`Json::Num`] with an exact non-negative integral value).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(n) => {
+                let f: f64 = n.parse().ok()?;
+                // Reject floats whose u64 round-trip loses information.
+                (f.fract() == 0.0 && (0.0..=u64::MAX as f64).contains(&f)).then_some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a float ([`Json::Int`] or [`Json::Num`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
     }
 
     fn write(&self, out: &mut String) {
@@ -104,6 +216,243 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Error from [`Json::parse`]: the byte offset and nature of the first
+/// malformed construct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// 0-based byte offset into the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    pairs.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return Err(self.err("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character {:?}", c as char))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        if integral {
+            if let Ok(i) = raw.parse::<u64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        // Everything else (negative, fractional, exponent, > u64) keeps
+        // its source spelling; validate it is a real number now so later
+        // `as_f64` reads cannot fail.
+        let parsed: f64 = raw.parse().map_err(|_| JsonParseError {
+            offset: start,
+            message: format!("malformed number {raw:?}"),
+        })?;
+        if !parsed.is_finite() {
+            return Err(JsonParseError {
+                offset: start,
+                message: format!("number {raw:?} overflows f64"),
+            });
+        }
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let high = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&high) {
+                                // Surrogate pair: require the low half.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                high
+                            };
+                            let ch = char::from_u32(code)
+                                .ok_or_else(|| self.err("invalid unicode escape"))?;
+                            out.push(ch);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ if c < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Multi-byte UTF-8: copy the whole character.
+                    let s = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(self.err("truncated unicode escape"));
+        };
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok())
+            .ok_or_else(|| self.err("malformed unicode escape"))?;
+        self.pos = end;
+        Ok(hex)
     }
 }
 
@@ -153,8 +502,98 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
-    fn rejects_non_finite() {
-        let _ = Json::fixed(f64::NAN, 2);
+    fn non_finite_renders_as_null() {
+        // A NaN/Inf measurement must never abort the emitting process
+        // (a long-running server emits telemetry for every request); the
+        // value degrades to JSON null instead.
+        assert_eq!(Json::fixed(f64::NAN, 2), Json::Null);
+        assert_eq!(Json::fixed(f64::INFINITY, 2).render(), "null");
+        assert_eq!(Json::fixed(f64::NEG_INFINITY, 6).render(), "null");
+        assert_eq!(Json::fixed(1.25, 2).render(), "1.25");
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::object([
+            ("n", Json::Int(4)),
+            ("flow", Json::from("ESOP")),
+            ("ok", Json::Bool(true)),
+            ("t", Json::fixed(0.125, 3)),
+            ("none", Json::Null),
+            ("arr", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+        ]);
+        let back = Json::parse(&v.render()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_scalars_and_numbers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("42").unwrap().as_f64(), Some(42.0));
+        assert_eq!(Json::parse("-3").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(Json::parse("1.5e2").unwrap().as_f64(), Some(150.0));
+        assert_eq!(Json::parse("2.0").unwrap().as_u64(), Some(2));
+        assert_eq!(Json::parse("2.5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-1").unwrap().as_u64(), None);
+        // .numvars-bomb-sized integers survive as exact u64s.
+        assert_eq!(
+            Json::parse("999999999").unwrap().as_u64(),
+            Some(999_999_999)
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = Json::parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndAé"));
+        let v = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "01x",
+            "1e999",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let e = Json::parse("[1, 2, !]").unwrap_err();
+        assert_eq!(e.offset, 7);
+        assert!(e.to_string().contains("byte 7"), "{e}");
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let deep = "[".repeat(MAX_PARSE_DEPTH + 8) + &"]".repeat(MAX_PARSE_DEPTH + 8);
+        let e = Json::parse(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        let ok = "[".repeat(MAX_PARSE_DEPTH - 1) + &"]".repeat(MAX_PARSE_DEPTH - 1);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_navigate_objects() {
+        let v = Json::parse(r#"{"design": {"generator": "INTDIV(6)"}, "ids": [7]}"#).unwrap();
+        let gen = v.get("design").and_then(|d| d.get("generator"));
+        assert_eq!(gen.and_then(Json::as_str), Some("INTDIV(6)"));
+        assert_eq!(
+            v.get("ids").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+        assert!(v.get("missing").is_none());
+        assert!(Json::Null.is_null());
     }
 }

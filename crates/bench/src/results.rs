@@ -421,7 +421,10 @@ impl BenchRow {
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The row as a [`Json`] object — the same shape `BENCH_*.json` rows
+    /// use, reused verbatim as the `result` payload of `qda-server`
+    /// responses so callers get one telemetry schema everywhere.
+    pub fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("design".to_string(), Json::from(self.design.as_str())),
             ("n".to_string(), Json::Int(self.n as u64)),

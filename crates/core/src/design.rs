@@ -11,6 +11,15 @@ pub enum DesignKind {
     IntDiv,
     /// Newton–Raphson fixed point (paper §III-2).
     Newton,
+    /// A design whose source arrived from outside the built-in generators
+    /// (e.g. inline Verilog submitted to `qda-server`). The source itself
+    /// is not stored — the submitter elaborates it into
+    /// [`FrontendArtifacts`](crate::flow::FrontendArtifacts) and runs the
+    /// flows through
+    /// [`Flow::run_with_frontend`](crate::flow::Flow::run_with_frontend);
+    /// only the input bitwidth rides along (the functional flow's
+    /// explicit-permutation guard needs it).
+    External,
 }
 
 /// A parameterized design: the reciprocal with a specific bitwidth,
@@ -50,6 +59,16 @@ impl Design {
         }
     }
 
+    /// An externally-sourced design with `bits` primary inputs (see
+    /// [`DesignKind::External`]). [`Design::to_aig`] fails for these —
+    /// the caller owns the source and the elaboration.
+    pub fn external(bits: usize) -> Self {
+        Self {
+            kind: DesignKind::External,
+            bits,
+        }
+    }
+
     /// The design kind.
     pub fn kind(&self) -> DesignKind {
         self.kind
@@ -65,14 +84,18 @@ impl Design {
         match self.kind {
             DesignKind::IntDiv => format!("INTDIV({})", self.bits),
             DesignKind::Newton => format!("NEWTON({})", self.bits),
+            DesignKind::External => format!("EXTERNAL({})", self.bits),
         }
     }
 
-    /// The Verilog source of the design.
+    /// The Verilog source of the design. Empty for
+    /// [`DesignKind::External`] — the source lives with the submitter,
+    /// not the handle.
     pub fn verilog(&self) -> String {
         match self.kind {
             DesignKind::IntDiv => qda_arith::intdiv_verilog(self.bits),
             DesignKind::Newton => qda_arith::newton_verilog(self.bits),
+            DesignKind::External => String::new(),
         }
     }
 
@@ -82,8 +105,16 @@ impl Design {
     /// # Errors
     ///
     /// Propagates parser/elaborator failures (which would indicate a
-    /// generator bug).
+    /// generator bug), and fails for [`DesignKind::External`] handles,
+    /// whose source is owned by the submitter.
     pub fn to_aig(&self) -> Result<Aig, VerilogError> {
+        if self.kind == DesignKind::External {
+            return Err(VerilogError::Elaborate {
+                message: "external design handles carry no source; \
+                          elaborate the submitted source and use run_with_frontend"
+                    .to_string(),
+            });
+        }
         let module = parse_module(&self.verilog())?;
         elaborate(&module)
     }
@@ -117,6 +148,16 @@ mod tests {
         for x in 1..32u64 {
             assert_eq!(aig.eval(x), qda_arith::recip_newton(5, x));
         }
+    }
+
+    #[test]
+    fn external_designs_have_no_generator_source() {
+        let d = Design::external(6);
+        assert_eq!(d.name(), "EXTERNAL(6)");
+        assert_eq!(d.bits(), 6);
+        assert_eq!(d.kind(), DesignKind::External);
+        assert!(d.verilog().is_empty());
+        assert!(d.to_aig().is_err(), "no source to elaborate");
     }
 
     #[test]

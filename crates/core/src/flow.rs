@@ -58,7 +58,7 @@ use qda_revsynth::tbs::{transformation_based_synthesis, TbsDirection};
 use qda_verilog::VerilogError;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Failure of a design flow.
@@ -292,6 +292,20 @@ pub fn compute_frontend(
 /// artifacts, so concurrent misses coalesce instead of duplicating work.
 type CacheSlot = Arc<Mutex<Option<Arc<FrontendArtifacts>>>>;
 
+/// Locks a cache mutex, recovering from poisoning.
+///
+/// A panic inside [`compute_frontend`] (e.g. a generator assertion on a
+/// hostile parameter) unwinds while the slot guard is held and poisons
+/// the mutex. The protected state is still consistent — a slot is only
+/// ever written on *successful* computation, so a poisoned slot simply
+/// holds `None` — which makes recovery safe: take the inner value and
+/// treat the slot as vacant. Without this, one bad design would
+/// permanently brick every subsequent `get_or_compute`/`len` call on a
+/// shared cache (fatal for a long-running server).
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Memoizes [`FrontendArtifacts`] per (design, optimization options), so
 /// a flow×design matrix runs the front end once per design instead of
 /// once per flow. Shareable across threads (`&FrontendCache` is enough).
@@ -311,6 +325,12 @@ impl FrontendCache {
     /// miss blocks on the first computation and then shares its result,
     /// so worker threads never duplicate a front end.
     ///
+    /// A panic during computation (a hostile design parameter tripping a
+    /// generator assertion) propagates to the caller but does **not**
+    /// damage the cache: the poisoned slot is recovered as vacant on the
+    /// next access and recomputed, so one bad request cannot take a
+    /// shared cache down with it.
+    ///
     /// # Errors
     ///
     /// Propagates [`compute_frontend`] failures (not cached — a frontend
@@ -321,10 +341,10 @@ impl FrontendCache {
         options: &OptimizeOptions,
     ) -> Result<Arc<FrontendArtifacts>, FlowError> {
         let slot: CacheSlot = {
-            let mut entries = self.entries.lock().expect("cache lock");
+            let mut entries = lock_recovering(&self.entries);
             Arc::clone(entries.entry((*design, *options)).or_default())
         };
-        let mut guard = slot.lock().expect("slot lock");
+        let mut guard = lock_recovering(&slot);
         if let Some(hit) = guard.as_ref() {
             return Ok(Arc::clone(hit));
         }
@@ -335,11 +355,9 @@ impl FrontendCache {
 
     /// Number of computed front ends in the cache.
     pub fn len(&self) -> usize {
-        self.entries
-            .lock()
-            .expect("cache lock")
+        lock_recovering(&self.entries)
             .values()
-            .filter(|slot| slot.lock().expect("slot lock").is_some())
+            .filter(|slot| lock_recovering(slot).is_some())
             .count()
     }
 
@@ -348,6 +366,114 @@ impl FrontendCache {
         self.len() == 0
     }
 }
+
+/// Per-run resource budget: result-size caps plus a wall-clock deadline.
+///
+/// The flow stages themselves stay budget-oblivious; a serving shell
+/// checks the budget at the stage boundaries it controls
+/// ([`FlowBudget::expired`] before spending work, [`FlowBudget::check_cost`]
+/// on the synthesized circuit), which keeps cancellation cooperative — a
+/// job is abandoned between stages instead of tearing threads down
+/// mid-rewrite.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowBudget {
+    /// Reject results with more gates than this.
+    pub max_gates: Option<u64>,
+    /// Reject results with more circuit lines than this.
+    pub max_qubits: Option<u64>,
+    /// Abandon the run once this instant passes.
+    pub deadline: Option<Instant>,
+}
+
+impl FlowBudget {
+    /// A budget with no limits (every check passes).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// A budget whose deadline is `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self {
+            deadline: Instant::now().checked_add(timeout),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the deadline has passed. Checked between stages by budget-
+    /// aware drivers, so an over-deadline job stops consuming CPU at the
+    /// next stage boundary.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Checks a synthesized circuit's cost against the size caps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated cap.
+    pub fn check_cost(&self, cost: &CircuitCost) -> Result<(), BudgetViolation> {
+        if let Some(limit) = self.max_qubits {
+            if cost.qubits as u64 > limit {
+                return Err(BudgetViolation {
+                    resource: BudgetResource::Qubits,
+                    used: cost.qubits as u64,
+                    limit,
+                });
+            }
+        }
+        if let Some(limit) = self.max_gates {
+            if cost.gates as u64 > limit {
+                return Err(BudgetViolation {
+                    resource: BudgetResource::Gates,
+                    used: cost.gates as u64,
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The resource dimension a [`BudgetViolation`] names.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Gate count of the synthesized circuit.
+    Gates,
+    /// Line count of the synthesized circuit.
+    Qubits,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Gates => write!(f, "gates"),
+            BudgetResource::Qubits => write!(f, "qubits"),
+        }
+    }
+}
+
+/// A [`FlowBudget`] cap that a run's result exceeded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetViolation {
+    /// Which cap was violated.
+    pub resource: BudgetResource,
+    /// The measured value.
+    pub used: u64,
+    /// The configured cap.
+    pub limit: u64,
+}
+
+impl fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "result uses {} {} but the budget allows {}",
+            self.used, self.resource, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetViolation {}
 
 /// A design flow: Verilog design in, verified reversible circuit out.
 ///
@@ -961,6 +1087,77 @@ mod tests {
         };
         cache.get_or_compute(&design, &other).unwrap();
         assert_eq!(cache.len(), 2, "different options are a different key");
+    }
+
+    #[test]
+    fn cache_survives_a_panicking_computation() {
+        // INTDIV(1) trips the generator assertion `n must be at least 2`
+        // inside compute_frontend — i.e. while the per-key slot mutex is
+        // held — poisoning the slot. Before the recovery fix, every
+        // subsequent get_or_compute/len call on the cache panicked via
+        // `.expect("slot lock")`: one bad design bricked the shared
+        // cache for good.
+        let cache = FrontendCache::new();
+        let opts = OptimizeOptions::default();
+        let bad = Design::intdiv(1);
+        for _ in 0..2 {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _ = cache.get_or_compute(&bad, &opts);
+            }));
+            // The panic must be the generator's own assertion surfacing
+            // (twice — the poisoned slot is recovered and recomputed, not
+            // replaced by a "slot lock" panic).
+            let payload = r.expect_err("INTDIV(1) must panic");
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_default();
+            assert!(
+                message.contains("at least 2"),
+                "unexpected panic {message:?}"
+            );
+        }
+        // The cache still works: len() walks the poisoned slot without
+        // panicking, and fresh keys compute fine.
+        assert_eq!(cache.len(), 0);
+        let good = cache.get_or_compute(&Design::intdiv(4), &opts).unwrap();
+        assert!(good.aig.num_pis() == 4);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn budget_checks_cost_caps() {
+        let outcome = EsopFlow::with_factoring(0).run(&Design::intdiv(4)).unwrap();
+        assert!(FlowBudget::unlimited().check_cost(&outcome.cost).is_ok());
+        let tight = FlowBudget {
+            max_gates: Some(1),
+            max_qubits: None,
+            deadline: None,
+        };
+        let v = tight.check_cost(&outcome.cost).unwrap_err();
+        assert_eq!(v.resource, BudgetResource::Gates);
+        assert_eq!(v.limit, 1);
+        assert!(v.to_string().contains("budget allows 1"), "{v}");
+        let narrow = FlowBudget {
+            max_qubits: Some(2),
+            ..FlowBudget::unlimited()
+        };
+        let v = narrow.check_cost(&outcome.cost).unwrap_err();
+        assert_eq!(v.resource, BudgetResource::Qubits);
+        assert_eq!(v.used, outcome.cost.qubits as u64);
+    }
+
+    #[test]
+    fn budget_deadline_expires() {
+        assert!(
+            !FlowBudget::unlimited().expired(),
+            "no deadline never expires"
+        );
+        let expired = FlowBudget::with_timeout(Duration::ZERO);
+        assert!(expired.expired());
+        let generous = FlowBudget::with_timeout(Duration::from_secs(3600));
+        assert!(!generous.expired());
     }
 
     #[test]

@@ -40,6 +40,6 @@ pub use dse::{
     PORTFOLIO_CUTOFF_FACTOR,
 };
 pub use flow::{
-    compute_frontend, EsopFlow, Flow, FlowError, FlowOutcome, FrontendArtifacts, FrontendCache,
-    FunctionalFlow, HierarchicalFlow, StageTimings,
+    compute_frontend, BudgetResource, BudgetViolation, EsopFlow, Flow, FlowBudget, FlowError,
+    FlowOutcome, FrontendArtifacts, FrontendCache, FunctionalFlow, HierarchicalFlow, StageTimings,
 };

@@ -1,0 +1,83 @@
+//! Source-anchored diagnostics for remote callers.
+//!
+//! A batch CLI user has the failing file open in an editor; a remote
+//! caller only has the response line. So every input error the daemon
+//! reports carries, next to the machine-readable `kind`/`message`, a
+//! rendered human diagnostic that quotes the offending source line with
+//! a caret — the driver/diagnostic split modeled on sigil-lang's
+//! `oric`/`ori_diagnostic` pair:
+//!
+//! ```text
+//! error: operand x9 out of range (.numvars 3)
+//!  --> job-7.real:3
+//!   |
+//! 3 | t2 x1 x9
+//!   | ^^^^^^^^
+//! ```
+
+/// Renders a rustc-style diagnostic anchored at 1-based `line` of
+/// `source`, labeled with `origin` (a synthetic file name such as
+/// `job-7.real`).
+///
+/// Out-of-range line numbers degrade gracefully to the header alone, so
+/// a malformed error position can never panic the renderer.
+pub fn render(origin: &str, source: &str, line: usize, message: &str) -> String {
+    let mut out = format!("error: {message}\n --> {origin}:{line}\n");
+    let Some(text) = line.checked_sub(1).and_then(|i| source.lines().nth(i)) else {
+        return out;
+    };
+    let gutter = " ".repeat(line.to_string().len());
+    let underline = "^".repeat(text.trim_end().chars().count().max(1));
+    out.push_str(&format!(
+        "{gutter} |\n{line} | {text}\n{gutter} | {underline}\n"
+    ));
+    out
+}
+
+/// Maps a byte offset into `source` to a 1-based line number (for the
+/// Verilog lexer, which reports positions as byte offsets).
+pub fn line_of_offset(source: &str, offset: usize) -> usize {
+    let clamped = offset.min(source.len());
+    source[..clamped].bytes().filter(|&b| b == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_the_offending_line() {
+        let src = ".numvars 3\n.begin\nt2 x1 x9\n.end\n";
+        let d = render("job-7.real", src, 3, "operand x9 out of range (.numvars 3)");
+        assert!(d.starts_with("error: operand x9 out of range"), "{d}");
+        assert!(d.contains(" --> job-7.real:3\n"), "{d}");
+        assert!(d.contains("3 | t2 x1 x9\n"), "{d}");
+        assert!(d.contains("  | ^^^^^^^^\n"), "{d}");
+    }
+
+    #[test]
+    fn out_of_range_line_degrades_to_the_header() {
+        let d = render("x.real", "one line", 99, "boom");
+        assert_eq!(d, "error: boom\n --> x.real:99\n");
+        let d = render("x.real", "", 0, "boom");
+        assert_eq!(d, "error: boom\n --> x.real:0\n");
+    }
+
+    #[test]
+    fn wide_gutter_for_multi_digit_lines() {
+        let src = "a\n".repeat(12);
+        let d = render("f.v", &src, 11, "late failure");
+        assert!(d.contains("11 | a\n"), "{d}");
+        assert!(d.contains("   | ^\n"), "{d}");
+    }
+
+    #[test]
+    fn offsets_map_to_lines() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(line_of_offset(src, 0), 1);
+        assert_eq!(line_of_offset(src, 3), 1);
+        assert_eq!(line_of_offset(src, 4), 2);
+        assert_eq!(line_of_offset(src, 10), 3);
+        assert_eq!(line_of_offset(src, 9999), 3, "clamped");
+    }
+}

@@ -1,0 +1,91 @@
+//! The `qda-server` binary: synthesis-as-a-service over stdio or TCP.
+
+use qda_core::flow::FrontendCache;
+use qda_server::{serve_session, serve_tcp, ServerConfig, ServerStats};
+use std::sync::Arc;
+
+const USAGE: &str = "\
+qda-server — reversible-synthesis daemon (line-delimited JSON)
+
+USAGE:
+    qda-server [OPTIONS]
+
+OPTIONS:
+    --tcp ADDR            Listen on ADDR (e.g. 127.0.0.1:7878) instead of stdio
+    --queue N             Bounded work-queue capacity        [default: 16]
+    --workers N           Worker threads per session         [default: 2]
+    --job-workers N       qda_logic::par cap per job (0 = uncapped)
+    --max-line-bytes N    Longest accepted request line      [default: 1048576]
+    --deadline-ms N       Default per-job deadline when the request carries none
+    --help                Print this help
+
+One JSON request per line on stdin (or the socket), one response line per
+request; see the qda-server README for the protocol.";
+
+fn parse_args() -> Result<(Option<String>, ServerConfig), String> {
+    let mut config = ServerConfig::default();
+    let mut tcp = None;
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--tcp" => tcp = Some(value(&mut args, "--tcp")?),
+            "--queue" => {
+                config.queue_capacity = parse_num(&value(&mut args, "--queue")?, "--queue")?;
+            }
+            "--workers" => {
+                config.workers = parse_num(&value(&mut args, "--workers")?, "--workers")?;
+            }
+            "--job-workers" => {
+                config.job_worker_cap =
+                    parse_num(&value(&mut args, "--job-workers")?, "--job-workers")?;
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes =
+                    parse_num(&value(&mut args, "--max-line-bytes")?, "--max-line-bytes")?;
+            }
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(parse_num(
+                    &value(&mut args, "--deadline-ms")?,
+                    "--deadline-ms",
+                )?);
+            }
+            other => return Err(format!("unknown option {other:?} (try --help)")),
+        }
+    }
+    Ok((tcp, config))
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("{flag}: {text:?} is not a valid number"))
+}
+
+fn main() {
+    let (tcp, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let result = match tcp {
+        Some(addr) => serve_tcp(&addr, config),
+        None => {
+            let cache = Arc::new(FrontendCache::new());
+            let stats = Arc::new(ServerStats::default());
+            let stdin = std::io::stdin();
+            serve_session(stdin.lock(), std::io::stdout(), &config, &cache, &stats)
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Bounded admission queue.
+//!
+//! Admission control is the daemon's back-pressure mechanism: the reader
+//! thread must **never block** on a full queue (that would stall every
+//! later request, including the cheap ones), so [`BoundedQueue::try_push`]
+//! fails fast and the caller answers the client with a structured
+//! `queue_full` error. Workers block on [`BoundedQueue::pop`] until a job
+//! arrives or the queue is closed and drained.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Rejection returned by [`BoundedQueue::try_push`] when the queue is at
+/// capacity (or closed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueFull {
+    /// The configured capacity that was exhausted.
+    pub capacity: usize,
+}
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "work queue full ({} jobs queued)", self.capacity)
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue with non-blocking admission and blocking
+/// consumption.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` pending jobs (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // Queue state is plain data; recover from a poisoned lock rather
+        // than letting one panicking worker wedge admission for good.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a job without ever blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when `capacity` jobs are already pending (or the
+    /// queue has been closed).
+    pub fn try_push(&self, item: T) -> Result<(), QueueFull> {
+        let mut state = self.lock();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (returning it) or the queue is
+    /// closed and drained (returning `None`).
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.lock();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: pending jobs still drain, new pushes are
+    /// rejected, and blocked consumers wake up once the backlog is gone.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of jobs currently pending.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_beyond_capacity_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(QueueFull { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-opens admission.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(q.try_push(2).is_err());
+    }
+
+    #[test]
+    fn close_drains_then_wakes_consumers() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(q.try_push(8).is_err(), "closed queues admit nothing");
+        assert_eq!(q.pop(), Some(7), "backlog still drains");
+        assert_eq!(q.pop(), None);
+        // A blocked consumer also wakes.
+        let q2 = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q2);
+            std::thread::spawn(move || q.pop())
+        };
+        q2.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn queue_full_error_renders() {
+        let e = QueueFull { capacity: 16 };
+        assert_eq!(e.to_string(), "work queue full (16 jobs queued)");
+    }
+}
