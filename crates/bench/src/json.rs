@@ -431,8 +431,22 @@ impl<'a> Parser<'a> {
                 }
                 _ if c < 0x20 => return Err(self.err("raw control character in string")),
                 _ => {
-                    // Multi-byte UTF-8: copy the whole character.
-                    let s = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                    // Multi-byte UTF-8: copy the whole character. The
+                    // input came from a `&str`, so the leading byte gives
+                    // the sequence length — validate only that window,
+                    // never the whole remaining input (O(n²) otherwise).
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start
+                        .checked_add(len)
+                        .filter(|&e| e <= self.bytes.len())
+                        .ok_or_else(|| self.err("invalid UTF-8"))?;
+                    let s = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8"))?;
                     let ch = s.chars().next().expect("non-empty");
                     out.push(ch);
@@ -447,10 +461,14 @@ impl<'a> Parser<'a> {
         let Some(end) = end else {
             return Err(self.err("truncated unicode escape"));
         };
-        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
-            .ok()
-            .and_then(|s| u32::from_str_radix(s, 16).ok())
-            .ok_or_else(|| self.err("malformed unicode escape"))?;
+        // from_str_radix alone would accept a leading '+'; require four
+        // literal hex digits.
+        let digits = &self.bytes[self.pos..end];
+        if !digits.iter().all(u8::is_ascii_hexdigit) {
+            return Err(self.err("malformed unicode escape"));
+        }
+        let s = std::str::from_utf8(digits).expect("hex digits are ascii");
+        let hex = u32::from_str_radix(s, 16).expect("validated hex digits");
         self.pos = end;
         Ok(hex)
     }
@@ -551,6 +569,18 @@ mod tests {
         let v = Json::parse(r#""😀""#).unwrap();
         assert_eq!(v.as_str(), Some("😀"));
         assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+        for bad in [r#""\u+0bc""#, r#""\u00g1""#, r#""\u-123""#] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_long_nonascii_string_is_linear() {
+        // Regression: each multi-byte char used to re-validate the whole
+        // remaining input, making this O(n²) — slow enough to be a DoS.
+        let body = "é".repeat(200_000);
+        let v = Json::parse(&format!("\"{body}\"")).unwrap();
+        assert_eq!(v.as_str().map(str::len), Some(body.len()));
     }
 
     #[test]

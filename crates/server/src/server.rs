@@ -571,9 +571,29 @@ fn read_request_line(
         return Ok(None);
     }
     if buf.last() != Some(&b'\n') && buf.len() > max {
-        let mut rest = Vec::new();
-        reader.read_until(b'\n', &mut rest)?;
-        return Ok(Some(Err(buf.len() + rest.len())));
+        // Discard the remainder without accumulating it: a single
+        // newline-free multi-gigabyte line must cost O(buffer), not
+        // O(line), of memory.
+        let mut skipped = buf.len();
+        loop {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                break;
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    skipped += i + 1;
+                    reader.consume(i + 1);
+                    break;
+                }
+                None => {
+                    let n = available.len();
+                    skipped += n;
+                    reader.consume(n);
+                }
+            }
+        }
+        return Ok(Some(Err(skipped)));
     }
     while matches!(buf.last(), Some(b'\n' | b'\r')) {
         buf.pop();
@@ -657,7 +677,6 @@ pub fn serve_session(
                 break;
             }
             Ok(Request::Synth(request)) => {
-                stats.received.fetch_add(1, Ordering::Relaxed);
                 let admitted = Instant::now();
                 let pending = Arc::new(Pending::new(request.id.clone(), Arc::clone(&writer)));
                 let deadline_ms = request.budget.deadline_ms.or(config.default_deadline_ms);
@@ -668,6 +687,7 @@ pub fn serve_session(
                 };
                 match queue.try_push(job) {
                     Ok(()) => {
+                        stats.received.fetch_add(1, Ordering::Relaxed);
                         if let Some(ms) = deadline_ms {
                             watchdog.register(admitted + Duration::from_millis(ms), ms, pending);
                         }
@@ -997,6 +1017,33 @@ mod tests {
                 .and_then(Json::as_bool),
             Some(true)
         );
+    }
+
+    #[test]
+    fn overlong_line_discard_is_bounded_and_exact() {
+        // A small BufReader capacity forces the discard loop through many
+        // fill_buf rounds; the skipped count must still be exact and the
+        // following line must survive intact.
+        let mut data = vec![b'x'; 10_000];
+        data.push(b'\n');
+        data.extend_from_slice(b"next\n");
+        let mut reader = std::io::BufReader::with_capacity(64, std::io::Cursor::new(data));
+        match read_request_line(&mut reader, 32).unwrap() {
+            Some(Err(skipped)) => assert_eq!(skipped, 10_001),
+            other => panic!("expected overlong skip, got {other:?}"),
+        }
+        match read_request_line(&mut reader, 32).unwrap() {
+            Some(Ok(line)) => assert_eq!(line, "next"),
+            other => panic!("expected next line, got {other:?}"),
+        }
+        // A newline-free stream tail is also discarded without blowing up.
+        let mut reader =
+            std::io::BufReader::with_capacity(64, std::io::Cursor::new(vec![b'y'; 5_000]));
+        match read_request_line(&mut reader, 32).unwrap() {
+            Some(Err(skipped)) => assert_eq!(skipped, 5_000),
+            other => panic!("expected overlong skip, got {other:?}"),
+        }
+        assert!(read_request_line(&mut reader, 32).unwrap().is_none());
     }
 
     #[test]
